@@ -1,0 +1,41 @@
+"""Empirical critical-batch benchmark on the real ML stack.
+
+Closes the loop on the convergence model behind the Section IV-B optimizer
+choices: trains the real numpy MLP at increasing batch sizes, measures
+steps-to-target, and verifies the two-regime (perfect-then-diminishing)
+law that makes LARS/LAMB necessary at Summit scale.
+"""
+
+from conftest import report
+
+from repro.analysis.batch_scaling import run_batch_scaling_experiment
+from repro.optim import SGD
+
+
+def test_empirical_critical_batch(benchmark):
+    def run():
+        return run_batch_scaling_experiment(
+            lambda: SGD(lr=0.02, momentum=0.9),
+            batch_sizes=[16, 64, 256, 1024],
+            seed=0,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    steps = result.steps_to_target
+    assert all(a >= b for a, b in zip(steps, steps[1:]))
+    # 64x batch increase buys far less than 64x step reduction
+    assert steps[0] / steps[-1] < 16
+    assert 8 < result.fitted_critical_batch < 2048
+
+    rows = [
+        (f"B={b}", s, f"{steps[0] / s:.1f}x", f"{steps[0] / steps[0] * b / 16:.0f}x")
+        for b, s in zip(result.batch_sizes, steps)
+    ]
+    report(
+        "Empirical batch scaling (real MLP + SGD, sqrt LR rule)",
+        rows,
+        header=("batch", "steps", "speedup", "perfect"),
+    )
+    print(f"  fitted: S_min ~ {result.fitted_min_samples:.0f} samples, "
+          f"B_crit ~ {result.fitted_critical_batch:.0f}")

@@ -1,0 +1,81 @@
+"""Checkpointing-tier and routing-policy benchmarks.
+
+Two more quantitative corollaries of the paper's hardware arguments:
+
+- the node-local burst buffer wins checkpointing as well as input reads
+  once the job is wide enough (Young-interval overhead comparison);
+- the fat tree's *adaptive* routing (Section I calls it out explicitly)
+  is what keeps worst-case link load down under shuffle-like traffic.
+"""
+
+from conftest import report
+
+from repro.network.pattern import incast_pattern, permutation_pattern, ring_pattern
+from repro.network.routing import Router, RoutingPolicy
+from repro.network.topology import FatTree, FatTreeSpec
+from repro.storage.burst_buffer import SUMMIT_NVME
+from repro.storage.checkpoint import CheckpointPlan
+from repro.storage.filesystem import SUMMIT_GPFS
+
+
+def test_checkpoint_tier_comparison(benchmark):
+    plan = CheckpointPlan(
+        state_bytes_per_node=100e9,  # 100 GB of optimizer+model state
+        n_nodes=4096,
+        node_mtbf_seconds=5 * 365 * 24 * 3600.0,
+    )
+
+    def run():
+        return plan.compare_tiers(SUMMIT_NVME, SUMMIT_GPFS)
+
+    tiers = benchmark(run)
+
+    assert tiers["nvme"]["overhead"] < tiers["shared_fs"]["overhead"]
+
+    report(
+        "Checkpointing a 4096-node job (Young-optimal intervals)",
+        [
+            (name,
+             f"{t['write_time']:.0f} s",
+             f"{t['optimal_interval'] / 3600:.2f} h",
+             f"{t['overhead']:.1%}")
+            for name, t in tiers.items()
+        ],
+        header=("tier", "write time", "interval", "overhead"),
+    )
+
+
+def test_routing_policy_across_patterns(benchmark):
+    tree = FatTree(FatTreeSpec(hosts=32, radix=8, levels=2))
+    patterns = {
+        "ring (allreduce)": ring_pattern(32),
+        "permutation (shuffle)": permutation_pattern(32, seed=3),
+        "incast (IO aggregation)": incast_pattern(32),
+    }
+
+    def run():
+        out = {}
+        for name, flows in patterns.items():
+            out[name] = {
+                policy.value: Router(tree, policy).route(flows).max_load
+                for policy in RoutingPolicy
+            }
+        return out
+
+    loads = benchmark(run)
+
+    # adaptive never loses, and strictly wins on the shuffle pattern
+    for name, row in loads.items():
+        assert row["adaptive"] <= row["static"] + 1e-9, name
+    assert loads["permutation (shuffle)"]["adaptive"] < loads[
+        "permutation (shuffle)"
+    ]["static"]
+
+    report(
+        "Routing policy vs worst link load (32-host non-blocking fat tree)",
+        [
+            (name, f"{row['static']:.2f}", f"{row['adaptive']:.2f}")
+            for name, row in loads.items()
+        ],
+        header=("pattern", "static", "adaptive"),
+    )

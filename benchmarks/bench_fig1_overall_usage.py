@@ -1,0 +1,34 @@
+"""Figure 1 — overall AI/ML usage percentages.
+
+Paper: "a substantial number of projects, 1/3 over Summit's lifespan, have
+actively used AI/ML methods, with another 8% indirect use."
+"""
+
+import pytest
+from conftest import report
+
+from repro.portfolio import AdoptionStatus, PortfolioAnalytics, generate_portfolio
+from repro.portfolio import reference as ref
+
+
+def test_fig1_overall_usage(benchmark):
+    projects = generate_portfolio()
+
+    def compute():
+        return PortfolioAnalytics(projects).overall_usage()
+
+    usage = benchmark(compute)
+
+    assert usage[AdoptionStatus.ACTIVE] == pytest.approx(1 / 3, abs=0.02)
+    assert usage[AdoptionStatus.INACTIVE] == pytest.approx(0.08, abs=0.005)
+    for status, expected in ref.FIG1_EXPECTED.items():
+        assert usage[status] == pytest.approx(expected, abs=1e-9)
+
+    report(
+        "Fig. 1 — overall AI/ML usage (fraction of projects)",
+        [
+            (s.value, f"{ref.FIG1_EXPECTED[s]:.1%}", f"{usage[s]:.1%}")
+            for s in AdoptionStatus
+        ],
+        header=("status", "paper", "measured"),
+    )

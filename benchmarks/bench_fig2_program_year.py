@@ -1,0 +1,46 @@
+"""Figure 2 — AI/ML usage by allocation program and year.
+
+Stated anchors: INCITE active adoption "grown steadily from 20% in 2019" to
+~31% (+28% inactive) in 2022; ALCC heavy in 2019-20; DD consistently large;
+ECP low; COVID heavy.
+"""
+
+import pytest
+from conftest import report
+
+from repro.portfolio import AdoptionStatus, PortfolioAnalytics, Program, generate_portfolio
+from repro.portfolio import reference as ref
+
+
+def test_fig2_usage_by_program_year(benchmark):
+    projects = generate_portfolio()
+
+    def compute():
+        return PortfolioAnalytics(projects).usage_by_program_year()
+
+    table = benchmark(compute)
+
+    active = {k: v[AdoptionStatus.ACTIVE] for k, v in table.items()}
+    # stated anchors
+    assert active[(Program.INCITE, 2019)] == pytest.approx(0.20, abs=0.01)
+    assert active[(Program.INCITE, 2022)] == pytest.approx(0.31, abs=0.01)
+    incite = [active[(Program.INCITE, y)] for y in (2019, 2020, 2021, 2022)]
+    assert incite == sorted(incite)  # "grown steadily"
+    assert active[(Program.COVID, 2020)] > 0.5  # "use AI/ML heavily"
+    assert active[(Program.ECP, 2020)] < 0.2  # "use AI/ML less"
+    assert active[(Program.ALCC, 2019)] > active[(Program.ALCC, 2021)]
+
+    rows = []
+    for (program, year), fractions in table.items():
+        total, ref_active, ref_inactive = ref.PROGRAM_YEAR_TABLE[(program, year)]
+        rows.append((
+            f"{program.value} {year}",
+            f"{ref_active / total:.0%}/{ref_inactive / total:.0%}",
+            f"{fractions[AdoptionStatus.ACTIVE]:.0%}/"
+            f"{fractions[AdoptionStatus.INACTIVE]:.0%}",
+        ))
+    report(
+        "Fig. 2 — usage by program-year (active/inactive)",
+        rows,
+        header=("cohort", "paper", "measured"),
+    )

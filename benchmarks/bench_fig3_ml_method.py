@@ -1,0 +1,33 @@
+"""Figure 3 — usage by AI/ML method class.
+
+Paper: "DL/NN methods are much more prevalent than others."
+"""
+
+import pytest
+from conftest import report
+
+from repro.portfolio import MLMethod, PortfolioAnalytics, generate_portfolio
+from repro.portfolio import reference as ref
+
+
+def test_fig3_usage_by_method(benchmark):
+    projects = generate_portfolio()
+
+    def compute():
+        return PortfolioAnalytics(projects).usage_by_method()
+
+    usage = benchmark(compute)
+
+    assert usage[MLMethod.DEEP_LEARNING] > 2 * usage[MLMethod.OTHER]
+    assert usage[MLMethod.DEEP_LEARNING] > usage[MLMethod.UNDETERMINED]
+    for method, share in ref.METHOD_SHARES.items():
+        assert usage[method] == pytest.approx(share, abs=0.01)
+
+    report(
+        "Fig. 3 — usage by ML method (fraction of AI projects)",
+        [
+            (m.value, f"{ref.METHOD_SHARES[m]:.0%}", f"{usage[m]:.1%}")
+            for m in MLMethod
+        ],
+        header=("method", "paper", "measured"),
+    )

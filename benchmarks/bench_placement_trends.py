@@ -1,0 +1,82 @@
+"""Placement, adoption-trend and coverage benchmarks.
+
+- topology-aware placement: what leaf-packing buys a ring-allreduce job,
+  and what adaptive routing (Summit's fabric feature) does for the rest;
+- the paper's adoption trajectory, fitted and projected;
+- the Gordon Bell reproduction map, verified complete.
+"""
+
+from conftest import report
+
+from repro.apps.reproductions import GB_REPRODUCTIONS, verify_coverage
+from repro.network.placement import placement_study
+from repro.network.topology import FatTree, FatTreeSpec
+from repro.portfolio import PortfolioAnalytics, Program, generate_portfolio
+from repro.portfolio.trends import fit_adoption_trend
+
+
+def test_placement_study(benchmark):
+    tree = FatTree(FatTreeSpec(hosts=32, radix=8, levels=2))
+
+    def run():
+        return placement_study(tree, 12, seed=0)
+
+    study = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    assert (
+        study["contiguous"]["cross_leaf_fraction"]
+        < study["random"]["cross_leaf_fraction"]
+    )
+    for row in study.values():
+        assert row["adaptive_max_load"] <= row["static_max_load"] + 1e-9
+
+    report(
+        "Ring-allreduce placement on a 32-host fat tree (12-rank job)",
+        [
+            (name,
+             f"{row['cross_leaf_fraction']:.0%}",
+             f"{row['static_max_load']:.2f}",
+             f"{row['adaptive_max_load']:.2f}")
+            for name, row in study.items()
+        ],
+        header=("placement", "fabric hops", "static load", "adaptive load"),
+    )
+
+
+def test_adoption_trend_projection(benchmark):
+    analytics = PortfolioAnalytics(generate_portfolio())
+
+    def run():
+        return fit_adoption_trend(analytics, Program.INCITE)
+
+    trend = benchmark(run)
+
+    assert trend.slope_per_year > 0
+
+    rows = [
+        (str(year), f"{fraction:.0%}")
+        for year, fraction in zip(trend.years, trend.fractions)
+    ]
+    rows.append(("slope", f"{trend.slope_per_year * 100:.1f} pts/year"))
+    rows.append(("linear proj. 2025", f"{trend.linear_projection(2025):.0%}"))
+    rows.append(("reaches 50 % (linear)", f"{trend.year_reaching(0.5):.0f}"))
+    report(
+        "INCITE active-AI adoption trend ('grown steadily from 20% in 2019')",
+        rows,
+        header=("year / metric", "active fraction"),
+    )
+
+
+def test_gordon_bell_reproduction_coverage(benchmark):
+    coverage = benchmark(verify_coverage)
+
+    assert all(coverage.values())
+
+    report(
+        "Gordon Bell AI finalists -> reproduction modules",
+        [
+            (r.finalist, ", ".join(m.split(".")[-1] for m in r.modules))
+            for r in GB_REPRODUCTIONS
+        ],
+        header=("finalist", "reproduced by"),
+    )

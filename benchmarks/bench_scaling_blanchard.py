@@ -1,0 +1,52 @@
+"""Section IV-B.5 — Blanchard et al., SMILES-BERT pretraining for drug
+discovery.
+
+Paper: "global batch size up to 5.8 million while maintaining convergence
+rate. Parallel scaling from 1 to 4032 nodes is 68%; without I/O costs the
+figure is 83.3%. Peak performance is 603 mixed precision PF at 4032 nodes."
+"""
+
+import dataclasses
+
+import pytest
+from conftest import report
+
+from repro.apps.extreme_scale import get_app
+from repro.training.parallelism import DataSource
+from repro.training.scaling import ScalingStudy
+
+
+def test_scaling_blanchard(benchmark):
+    app = get_app("blanchard")
+
+    def run():
+        with_io = app.simulate()
+        without_io = dataclasses.replace(
+            app, data_source=DataSource.MEMORY
+        ).simulate()
+        return with_io, without_io
+
+    with_io, without_io = benchmark(run)
+
+    assert with_io["measured_flops"] == pytest.approx(603e15, rel=0.03)
+    assert with_io["measured_efficiency"] == pytest.approx(0.68, abs=0.03)
+    assert without_io["measured_efficiency"] == pytest.approx(0.833, abs=0.03)
+    assert app.job(app.peak_nodes).global_batch() == pytest.approx(5.8e6, rel=0.01)
+
+    points = ScalingStudy(app.job(1)).weak_scaling([1, 16, 256, 4032])
+    print()
+    print(ScalingStudy.table(points, "Blanchard et al. — SMILES-BERT weak scaling"))
+    report(
+        "Section IV-B.5 paper-vs-measured",
+        [
+            ("peak sustained", "603 PFLOP/s",
+             f"{with_io['measured_flops'] / 1e15:.0f} PFLOP/s"),
+            ("efficiency (with I/O)", "68%",
+             f"{with_io['measured_efficiency']:.1%}"),
+            ("efficiency (no I/O)", "83.3%",
+             f"{without_io['measured_efficiency']:.1%}"),
+            ("max global batch", "5.8M",
+             f"{app.job(app.peak_nodes).global_batch() / 1e6:.1f}M"),
+        ],
+        header=("metric", "paper", "measured"),
+    )

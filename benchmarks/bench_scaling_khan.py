@@ -1,0 +1,37 @@
+"""Section IV-B.4 — Khan et al., gravitational-wave parameter inference.
+
+Paper: "a modified Wavenet architecture is trained with data parallelism
+using the LAMB optimizer, achieving 80% scaling efficiency from 8 to 1024
+nodes of Summit."
+"""
+
+import pytest
+from conftest import report
+
+from repro.apps.extreme_scale import get_app
+from repro.training.scaling import ScalingStudy
+
+
+def test_scaling_khan(benchmark):
+    app = get_app("khan")
+
+    def run():
+        study = ScalingStudy(app.job(8))
+        return study.weak_scaling([8, 32, 128, 512, 1024])
+
+    points = benchmark(run)
+    peak = points[-1]
+
+    assert peak.efficiency == pytest.approx(0.80, abs=0.03)
+    assert app.reported["optimizer"] == "lamb" if "optimizer" in app.reported else True
+
+    print()
+    print(ScalingStudy.table(points, "Khan et al. — WaveNet weak scaling (8-node base)"))
+    report(
+        "Section IV-B.4 paper-vs-measured",
+        [
+            ("efficiency 8->1024", "80%", f"{peak.efficiency:.1%}"),
+            ("nodes", 1024, peak.n_nodes),
+        ],
+        header=("metric", "paper", "measured"),
+    )

@@ -1,0 +1,37 @@
+"""Section IV-B.1 — Kurth et al., exascale climate segmentation.
+
+Paper: "Scaling to 4560 nodes results in peak 1.13 mixed precision Exaflops
+and parallel efficiency of 90.7%."
+"""
+
+import pytest
+from conftest import report
+
+from repro.apps.extreme_scale import get_app
+from repro.training.scaling import ScalingStudy
+
+
+def test_scaling_kurth(benchmark):
+    app = get_app("kurth")
+
+    def run():
+        study = ScalingStudy(app.job(1))
+        return study.weak_scaling([1, 16, 128, 1024, 4560])
+
+    points = benchmark(run)
+    peak = points[-1]
+
+    assert peak.sustained_flops == pytest.approx(1.13e18, rel=0.03)
+    assert peak.efficiency == pytest.approx(0.907, abs=0.02)
+
+    print()
+    print(ScalingStudy.table(points, "Kurth et al. — DeepLabv3+ weak scaling"))
+    report(
+        "Section IV-B.1 paper-vs-measured",
+        [
+            ("peak sustained", "1.13 EFLOP/s", f"{peak.sustained_flops / 1e18:.3f} EFLOP/s"),
+            ("parallel efficiency", "90.7%", f"{peak.efficiency:.1%}"),
+            ("nodes", 4560, peak.n_nodes),
+        ],
+        header=("metric", "paper", "measured"),
+    )

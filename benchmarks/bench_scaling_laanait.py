@@ -1,0 +1,39 @@
+"""Section IV-B.3 — Laanait et al., exascale microscopy inverse problem.
+
+Paper: "global batch size 27,600 ... scalability to 4600 nodes and peak
+2.15 mixed precision ExaFlops performance."
+"""
+
+import pytest
+from conftest import report
+
+from repro.apps.extreme_scale import get_app
+from repro.training.scaling import ScalingStudy
+
+
+def test_scaling_laanait(benchmark):
+    app = get_app("laanait")
+
+    def run():
+        study = ScalingStudy(app.job(1))
+        return study.weak_scaling([1, 16, 128, 1024, 4600])
+
+    points = benchmark(run)
+    peak = points[-1]
+
+    assert peak.sustained_flops == pytest.approx(2.15e18, rel=0.03)
+    assert peak.global_batch == 27600
+    # Laanait's sustained-per-GPU is the highest of the five applications
+    assert peak.sustained_flops / (4600 * 6) > 70e12
+
+    print()
+    print(ScalingStudy.table(points, "Laanait et al. — FC-DenseNet weak scaling"))
+    report(
+        "Section IV-B.3 paper-vs-measured",
+        [
+            ("peak sustained", "2.15 EFLOP/s", f"{peak.sustained_flops / 1e18:.3f} EFLOP/s"),
+            ("global batch", 27600, peak.global_batch),
+            ("nodes", 4600, peak.n_nodes),
+        ],
+        header=("metric", "paper", "measured"),
+    )

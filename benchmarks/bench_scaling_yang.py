@@ -1,0 +1,40 @@
+"""Section IV-B.2 — Yang et al., physics-informed GANs for stochastic PDEs.
+
+Paper: "The code achieved over 1.2 mixed precision Exaflops performance on
+4584 Summit nodes at 93% efficiency" using model parallelism (GAN batch-size
+limits) on top of data parallelism.
+"""
+
+import pytest
+from conftest import report
+
+from repro.apps.extreme_scale import get_app
+from repro.training.scaling import ScalingStudy
+
+
+def test_scaling_yang(benchmark):
+    app = get_app("yang")
+
+    def run():
+        study = ScalingStudy(app.job(1))
+        return study.weak_scaling([1, 16, 128, 1024, 4584])
+
+    points = benchmark(run)
+    peak = points[-1]
+
+    assert peak.sustained_flops > 1.15e18  # "over 1.2" within 4 %
+    assert peak.efficiency == pytest.approx(0.93, abs=0.02)
+    assert app.plan.model_shards == 6  # intra-node model parallelism
+
+    print()
+    print(ScalingStudy.table(points, "Yang et al. — PI-GAN hybrid-parallel scaling"))
+    report(
+        "Section IV-B.2 paper-vs-measured",
+        [
+            ("peak sustained", ">1.2 EFLOP/s", f"{peak.sustained_flops / 1e18:.3f} EFLOP/s"),
+            ("parallel efficiency", "93%", f"{peak.efficiency:.1%}"),
+            ("nodes", 4584, peak.n_nodes),
+            ("model shards/replica", 6, app.plan.model_shards),
+        ],
+        header=("metric", "paper", "measured"),
+    )

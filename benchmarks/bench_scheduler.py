@@ -1,0 +1,76 @@
+"""Scheduler benchmarks: capability computing and delivered AI hours.
+
+Section II-B: OLCF allocates by "the ability and need to take advantage of
+the full capability afforded by leadership resources". The ablation shows
+what the capability queue policy buys (wide-job wait) and costs (mean
+wait); the campaign benchmark computes the AI/ML share of *delivered*
+node-hours, the alternative metric Section II-C discusses.
+"""
+
+import numpy as np
+from conftest import report
+
+from repro.portfolio import generate_portfolio
+from repro.scheduler import Policy, Scheduler, campaign_from_portfolio
+
+
+def _campaign(n_projects=250, seed=1):
+    projects = generate_portfolio()
+    rng = np.random.default_rng(seed)
+    sample = [projects[i] for i in rng.choice(len(projects), n_projects,
+                                              replace=False)]
+    return campaign_from_portfolio(
+        sample, jobs_per_project=4, horizon=24 * 3600.0, seed=0
+    )
+
+
+def test_scheduler_policy_ablation(benchmark):
+    jobs = _campaign()
+
+    def run():
+        return {
+            policy: Scheduler(4608, policy).run(jobs)
+            for policy in (Policy.FIFO, Policy.CAPABILITY, Policy.SMALLEST_FIRST)
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    cap = results[Policy.CAPABILITY]
+    fifo = results[Policy.FIFO]
+    small = results[Policy.SMALLEST_FIRST]
+    assert cap.mean_wait_wide < fifo.mean_wait_wide
+    assert small.mean_wait_wide > cap.mean_wait_wide
+    assert cap.utilization > 0.8
+
+    report(
+        "Scheduler ablation — 1000-job day on Summit",
+        [
+            (p.value,
+             f"{r.utilization:.0%}",
+             f"{r.mean_wait / 3600:.1f} h",
+             f"{r.mean_wait_wide / 3600:.1f} h")
+            for p, r in results.items()
+        ],
+        header=("policy", "utilization", "mean wait", "wide-job wait"),
+    )
+
+
+def test_scheduler_delivered_ai_hours(benchmark):
+    jobs = _campaign()
+
+    def run():
+        return Scheduler(4608, Policy.CAPABILITY).run(jobs)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    assert 0.2 < result.ai_share < 0.8
+
+    report(
+        "Delivered node-hours by AI/ML usage (Section II-C's alternative metric)",
+        [
+            ("delivered total", f"{result.delivered_node_hours:,.0f} node-h"),
+            ("AI/ML projects", f"{result.ai_node_hours:,.0f} node-h"),
+            ("AI/ML share", f"{result.ai_share:.0%}"),
+        ],
+        header=("metric", "value"),
+    )

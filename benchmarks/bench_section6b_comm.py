@@ -1,0 +1,72 @@
+"""Section VI-B (communication considerations).
+
+Paper: "the per device allreduce message size for the ResNet50 and
+BERT-large models is about 100MB and 1.4 GB ... communication time is
+roughly 8 ms and 110 ms. The latter is close to the time of per-batch
+forward and backward propagation and hence hard to hide ... Thus models
+larger than BERT-large become communication-bound."
+"""
+
+import pytest
+from conftest import report
+
+from repro.machine.gpu import NVIDIA_V100
+from repro.models import bert_large, resnet50
+from repro.network.collectives import paper_allreduce_estimate
+from repro.network.link import SUMMIT_INJECTION
+
+
+def test_section6b_allreduce_times(benchmark):
+    r50, bert = resnet50(), bert_large()
+
+    def compute():
+        return (
+            paper_allreduce_estimate(r50.gradient_bytes, SUMMIT_INJECTION),
+            paper_allreduce_estimate(bert.gradient_bytes, SUMMIT_INJECTION),
+        )
+
+    t_resnet, t_bert = benchmark(compute)
+
+    assert t_resnet == pytest.approx(8e-3, rel=0.05)
+    assert t_bert == pytest.approx(110e-3, rel=0.05)
+
+    report(
+        "Section VI-B — data-parallel allreduce estimates",
+        [
+            ("ResNet-50 message", "~100 MB", f"{r50.gradient_bytes / 1e6:.0f} MB"),
+            ("BERT-large message", "~1.4 GB", f"{bert.gradient_bytes / 1e9:.2f} GB"),
+            ("ResNet-50 allreduce", "~8 ms", f"{t_resnet * 1e3:.1f} ms"),
+            ("BERT-large allreduce", "~110 ms", f"{t_bert * 1e3:.1f} ms"),
+        ],
+        header=("metric", "paper", "measured"),
+    )
+
+
+def test_section6b_communication_bound_crossover(benchmark):
+    """BERT-large's allreduce is 'close to' its per-batch compute; models
+    larger than BERT-large are communication-bound in data parallelism."""
+    r50, bert = resnet50(), bert_large()
+
+    def ratios():
+        out = {}
+        for model, batch in ((r50, 128), (bert, 32)):
+            comm = paper_allreduce_estimate(model.gradient_bytes, SUMMIT_INJECTION)
+            compute = model.step_compute_time(NVIDIA_V100, batch)
+            out[model.name] = comm / compute
+        return out
+
+    result = benchmark(ratios)
+
+    # ResNet-50 comfortably hides communication; BERT-large barely does
+    assert result["ResNet-50"] < 0.15
+    assert 0.3 < result["BERT-large"] < 1.0
+
+    report(
+        "Section VI-B — allreduce / per-batch-compute ratio",
+        [
+            ("ResNet-50", "negligible", f"{result['ResNet-50']:.2f}"),
+            ("BERT-large", "'close to' 1", f"{result['BERT-large']:.2f}"),
+            ("larger than BERT-large", "comm-bound", "> 1 (see tests)"),
+        ],
+        header=("model", "paper", "measured"),
+    )

@@ -1,0 +1,26 @@
+"""Table II — science domains and subdomains."""
+
+from conftest import report
+
+from repro.portfolio import DOMAIN_SUBDOMAINS, Domain, generate_portfolio
+from repro.portfolio.taxonomy import subdomain_domain
+
+
+def test_table2_domain_taxonomy(benchmark):
+    projects = generate_portfolio()
+
+    def roundtrip():
+        # classify every project's subdomain back to its domain — the
+        # paper's "adjusted ... subdomain assignments" step
+        return [subdomain_domain(p.subdomain) for p in projects]
+
+    domains = benchmark(roundtrip)
+
+    assert len(Domain) == 9
+    assert all(d is p.domain for d, p in zip(domains, projects))
+
+    report(
+        "Table II — domains and subdomain counts",
+        [(d.value, len(DOMAIN_SUBDOMAINS[d])) for d in Domain],
+        header=("domain", "subdomains"),
+    )

@@ -1,0 +1,23 @@
+"""Table III — Gordon Bell finalist counts, paper vs registry."""
+
+from conftest import report
+
+from repro.apps import gordon_bell_table
+from repro.portfolio import reference as ref
+
+
+def test_table3_gordon_bell_counts(benchmark):
+    table = benchmark(gordon_bell_table)
+
+    assert table == ref.GORDON_BELL_TABLE
+
+    rows = []
+    for (year, category), (total, ai) in sorted(table.items()):
+        paper_total, paper_ai = ref.GORDON_BELL_TABLE[(year, category)]
+        rows.append((f"{year} {category}", f"{paper_total}/{paper_ai}",
+                     f"{total}/{ai}"))
+    report(
+        "Table III — Summit Gordon Bell finalists (total/AI-ML)",
+        rows,
+        header=("year", "paper", "measured"),
+    )

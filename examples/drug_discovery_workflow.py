@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Drug-discovery lead-optimisation loop (Section V-C, IMPECCABLE-style).
+
+A 2 000-compound virtual library is screened with a cheap-but-biased
+docking tier; a random-forest surrogate (trained on the expensive MD-refined
+tier, with the docking score as a multi-fidelity feature) iteratively picks
+which compounds deserve MD refinement. A genetic algorithm then searches
+compound space against the trained surrogate (the Blanchard et al. pattern).
+
+Figure of merit: enrichment of true top-1% binders among the MD-evaluated
+compounds, vs. random and docking-rank baselines at equal MD budget.
+
+Run:  python examples/drug_discovery_workflow.py
+"""
+
+from repro.science.docking import CompoundLibrary, DockingOracle
+from repro.workflows.case_drug import DrugDiscoveryWorkflow
+
+
+def main() -> None:
+    print("AI-coupled drug-discovery pipeline")
+    print("=" * 60)
+
+    library = CompoundLibrary.random(2000, seed=11)
+    oracle = DockingOracle(seed=11)
+    workflow = DrugDiscoveryWorkflow(library, oracle, seed=11)
+
+    result = workflow.run()
+    print(f"MD (expensive-tier) evaluations: {result.md_calls} "
+          f"of {len(library)} compounds ({result.md_calls / len(library):.0%})")
+    print()
+    print("Enrichment of true top-1% binders at equal MD budget:")
+    print(f"  surrogate loop     {result.enrichment:.0%}")
+    print(f"  docking-rank       {result.enrichment_docking:.0%}")
+    print(f"  random selection   {result.enrichment_random:.0%}")
+    print(f"  gain over docking  {result.enrichment_gain:.1f}x")
+    print()
+    print("Best true affinity found per iteration:",
+          [f"{v:.2f}" for v in result.iteration_best])
+    print()
+
+    ga_result, true_best = workflow.ga_search(generations=30)
+    print("Generative search (GA against the trained surrogate):")
+    print(f"  surrogate score of best genome: {ga_result.best_fitness:.2f}")
+    print(f"  true affinity of best genome:   {true_best:.2f}")
+    print(f"  fitness evaluations:            {ga_result.evaluations} "
+          f"(all surrogate — zero extra MD)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""The submodel motif end to end: an ML subgrid closure in a climate toy.
+
+Table I's example for the most common AI motif on Summit is "physics-based
+radiation model in a climate code replaced by ML model"; the paper cites
+Rasp, Pritchard & Gentine for both the promise (accurate learned subgrid
+physics) and the danger (instability when "networks are applied
+iteratively", Section VI-A.3). This example reproduces the full story on
+two-scale Lorenz-96:
+
+1. run the coupled truth model and harvest (resolved stencil -> subgrid
+   forcing) training pairs;
+2. train an MLP closure;
+3. compare the parameterised reduced model against the uncorrected
+   truncation on forecast skill and long-run climate, with the
+   conservation correction applied "by a final correction".
+
+Run:  python examples/ml_subgrid_closure.py
+"""
+
+from repro.workflows.case_submodel import SubmodelWorkflow
+
+
+def main() -> None:
+    print("ML subgrid closure for two-scale Lorenz-96 (submodel motif)")
+    print("=" * 66)
+
+    workflow = SubmodelWorkflow(seed=0)
+    rmse = workflow.train_closure(n_samples=4000, epochs=120)
+    print(f"Closure trained on 4000 coupled-run samples; held-out RMSE {rmse:.3f}")
+    print()
+
+    result = workflow.run(forecast_steps=1500, climate_steps=6000)
+
+    print("Forecast skill (time until RMSE > 3 vs the coupled truth):")
+    print(f"  ML closure       {result.skill_horizon_ml:.3f} model time units")
+    print(f"  no closure       {result.skill_horizon_truncated:.3f} model time units")
+    print(f"  gain             {result.horizon_gain:.2f}x")
+    print()
+    print("Free-running climate (the subgrid coupling damps the resolved")
+    print("variables, so *variance* is where missing physics shows):")
+    print(f"  {'':<16}{'mean':>8}{'variance':>10}")
+    print(f"  {'coupled truth':<16}{result.climate_mean_truth:>8.3f}"
+          f"{result.climate_var_truth:>10.2f}")
+    print(f"  {'ML closure':<16}{result.climate_mean_ml:>8.3f}"
+          f"{result.climate_var_ml:>10.2f}  (var error "
+          f"{result.climate_error_ml:.2f})")
+    print(f"  {'no closure':<16}{result.climate_mean_truncated:>8.3f}"
+          f"{result.climate_var_truncated:>10.2f}  (var error "
+          f"{result.climate_error_truncated:.2f})")
+    print()
+    print(f"Stable under iteration (Section VI-A.3): {result.stable}")
+    print("(conservation of the domain-mean forcing is imposed by a final")
+    print(" correction — one of the three constraint mechanisms the paper lists)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Regenerate the Section III usage survey: Figures 1-6 and Table III.
+
+Builds the paper-calibrated synthetic portfolio (645 project-years across
+INCITE / ALCC / DD / COVID / ECP), runs the real aggregation pipeline over
+it, and prints every figure as a text table, plus the Gordon Bell finalist
+counts from the project registry.
+
+Run:  python examples/usage_survey_report.py
+"""
+
+from repro.apps.registry import GORDON_BELL_FINALISTS, gordon_bell_table
+from repro.core import UsageSurvey
+
+
+def main() -> None:
+    survey = UsageSurvey.calibrated()
+    print(survey.report())
+    print()
+
+    print("Table III — Gordon Bell finalist counts")
+    print(f"  {'year':>6} {'category':<8} {'Summit':>7} {'Summit AI/ML':>13}")
+    for (year, category), (total, ai) in sorted(gordon_bell_table().items()):
+        print(f"  {year:>6} {category:<8} {total:>7} {ai:>13}")
+    print()
+
+    print("AI/ML-powered Gordon Bell finalists (Section IV-A):")
+    for f in GORDON_BELL_FINALISTS:
+        if f.uses_ai:
+            scale = f" @ {f.max_nodes} nodes" if f.max_nodes else ""
+            print(f"  {f.year} [{f.category:>5}] {f.name:<22} "
+                  f"motif={f.motif.value}{scale}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+The metadata lives in pyproject.toml; this file exists so the package can be
+installed editable (``pip install -e .`` / ``python setup.py develop``) on
+environments whose setuptools predates PEP 660 editable-wheel support or
+lacks the ``wheel`` package (e.g. air-gapped systems).
+"""
+
+from setuptools import setup
+
+setup()

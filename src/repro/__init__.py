@@ -1,0 +1,35 @@
+"""repro — a reproduction of *Learning to Scale the Summit: AI for Science on
+a Leadership Supercomputer* (Joubert et al., IPPS 2022).
+
+The library has four strata (see DESIGN.md for the full inventory):
+
+1. **Machine models** (:mod:`repro.machine`, :mod:`repro.network`,
+   :mod:`repro.storage`) — Summit's nodes, fat-tree fabric and storage
+   hierarchy, with the analytic cost models of Section VI-B.
+2. **Training simulator** (:mod:`repro.models`, :mod:`repro.training`) —
+   data/model-parallel step-time decomposition reproducing the Section IV-B
+   extreme-scale results (:mod:`repro.apps`).
+3. **Real ML + science substrates** (:mod:`repro.ml`, :mod:`repro.optim`,
+   :mod:`repro.science`) — from-scratch networks, large-batch optimizers,
+   Monte Carlo / MD / FFEA / docking engines powering the Section V
+   AI-coordinated workflow case studies (:mod:`repro.workflows`).
+4. **The usage survey** (:mod:`repro.portfolio`) — the Section III taxonomy,
+   calibrated portfolio and analytics behind Figures 1-6 and Table III.
+
+Quick start::
+
+    from repro.core import SummitSimulator, ScalingStudyRunner, UsageSurvey
+    from repro.training import ParallelismPlan
+
+    sim = SummitSimulator()
+    print(sim.io_report("resnet50")["summary"])
+
+    runner = ScalingStudyRunner("bert_large", ParallelismPlan(local_batch=32))
+    print(runner.table([1, 16, 256, 4032]))
+
+    print(UsageSurvey.calibrated().report())
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

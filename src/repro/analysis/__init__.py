@@ -1,0 +1,20 @@
+"""Performance-analysis utilities: scaling laws, roofline, calibration."""
+
+from repro.analysis.roofline import RooflinePoint, roofline_point
+from repro.analysis.scaling_laws import (
+    amdahl_speedup,
+    fit_serial_fraction,
+    gustafson_speedup,
+    parallel_efficiency,
+    scaled_speedup,
+)
+
+__all__ = [
+    "RooflinePoint",
+    "amdahl_speedup",
+    "fit_serial_fraction",
+    "gustafson_speedup",
+    "parallel_efficiency",
+    "roofline_point",
+    "scaled_speedup",
+]

@@ -1,0 +1,74 @@
+"""Classical scaling laws and efficiency metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def amdahl_speedup(p: int, serial_fraction: float) -> float:
+    """Amdahl's law: S(p) = 1 / (s + (1-s)/p).
+
+    >>> round(amdahl_speedup(1024, 0.01), 1)
+    91.2
+    """
+    if p < 1:
+        raise ConfigurationError("p must be >= 1")
+    if not 0 <= serial_fraction <= 1:
+        raise ConfigurationError("serial fraction must be in [0, 1]")
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / p)
+
+
+def gustafson_speedup(p: int, serial_fraction: float) -> float:
+    """Gustafson's law (scaled speedup): S(p) = s + (1-s) * p."""
+    if p < 1:
+        raise ConfigurationError("p must be >= 1")
+    if not 0 <= serial_fraction <= 1:
+        raise ConfigurationError("serial fraction must be in [0, 1]")
+    return serial_fraction + (1.0 - serial_fraction) * p
+
+
+def parallel_efficiency(speedup: float, p: int) -> float:
+    """E = S / p."""
+    if p < 1:
+        raise ConfigurationError("p must be >= 1")
+    if speedup < 0:
+        raise ConfigurationError("speedup must be non-negative")
+    return speedup / p
+
+
+def scaled_speedup(throughputs: np.ndarray, workers: np.ndarray) -> np.ndarray:
+    """Speedup series throughput(p)/throughput(p0); pair with
+    :func:`parallel_efficiency` (using p/p0 workers) for weak-scaling
+    efficiency curves."""
+    throughputs = np.asarray(throughputs, dtype=float)
+    workers = np.asarray(workers, dtype=float)
+    if throughputs.shape != workers.shape or throughputs.size < 1:
+        raise ConfigurationError("series must be non-empty and congruent")
+    if throughputs[0] <= 0:
+        raise ConfigurationError("baseline throughput must be positive")
+    return throughputs / throughputs[0]
+
+
+def fit_serial_fraction(workers: np.ndarray, efficiencies: np.ndarray) -> float:
+    """Least-squares fit of Amdahl's serial fraction to measured weak-scaling
+    efficiencies — a one-parameter summary of a scaling curve.
+
+    Using E(p) = 1/(p s + 1 - s) => 1/E = s (p - 1) + 1, linear in s.
+    """
+    workers = np.asarray(workers, dtype=float)
+    efficiencies = np.asarray(efficiencies, dtype=float)
+    if workers.shape != efficiencies.shape or workers.size < 2:
+        raise ConfigurationError("need at least two scaling points")
+    if (efficiencies <= 0).any():
+        raise ConfigurationError("efficiencies must be positive")
+    if np.unique(workers).size < 2:
+        raise ConfigurationError("need at least two distinct worker counts")
+    x = workers - 1.0
+    y = 1.0 / efficiencies - 1.0
+    denom = float((x * x).sum())
+    if denom == 0:
+        raise ConfigurationError("worker counts are all equal to one")
+    s = float((x * y).sum() / denom)
+    return min(max(s, 0.0), 1.0)

@@ -1,0 +1,20 @@
+"""Application registry: Gordon Bell finalists (Section IV-A) and the
+extreme-scale training configurations of Section IV-B."""
+
+from repro.apps.extreme_scale import EXTREME_SCALE_APPS, ExtremeScaleApp
+from repro.apps.registry import (
+    GORDON_BELL_FINALISTS,
+    GordonBellFinalist,
+    gordon_bell_table,
+)
+from repro.apps.reproductions import GB_REPRODUCTIONS, verify_coverage
+
+__all__ = [
+    "EXTREME_SCALE_APPS",
+    "ExtremeScaleApp",
+    "GB_REPRODUCTIONS",
+    "GORDON_BELL_FINALISTS",
+    "GordonBellFinalist",
+    "gordon_bell_table",
+    "verify_coverage",
+]

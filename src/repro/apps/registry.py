@@ -1,0 +1,94 @@
+"""Gordon Bell finalist registry (Section IV-A, Table III).
+
+The ten AI/ML-powered Summit finalists are recorded individually with their
+motif and scale; the non-AI finalists appear as anonymous entries so the
+Table III counts are complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.portfolio.taxonomy import Motif
+
+
+@dataclass(frozen=True)
+class GordonBellFinalist:
+    """One Summit Gordon Bell finalist project."""
+
+    name: str
+    year: int
+    category: str  # "std" | "covid"
+    uses_ai: bool
+    motif: Motif | None = None
+    max_nodes: int | None = None
+    peak_flops: float | None = None  # mixed precision, where reported
+    description: str = ""
+
+
+GORDON_BELL_FINALISTS: tuple[GordonBellFinalist, ...] = (
+    # -- 2018 standard (5 finalists, 3 AI/ML) -----------------------------------
+    GordonBellFinalist(
+        "Ichimura et al.", 2018, "std", True, Motif.MATH_CS_ALGORITHM, 4096,
+        description="earthquake modeling; NN preconditioner for CG solver",
+    ),
+    GordonBellFinalist(
+        "Patton et al.", 2018, "std", True, Motif.CLASSIFICATION, 4200, 152.5e15,
+        description="DNN hyperparameter tuning for microscopy defect detection",
+    ),
+    GordonBellFinalist(
+        "Kurth et al.", 2018, "std", True, Motif.CLASSIFICATION, 4560, 1.13e18,
+        description="extreme weather detection; Tiramisu/DeepLabv3+ DNNs",
+    ),
+    GordonBellFinalist("Summit finalist (non-AI) 2018a", 2018, "std", False),
+    GordonBellFinalist("Summit finalist (non-AI) 2018b", 2018, "std", False),
+    # -- 2019 standard (2 finalists, 0 AI/ML) -------------------------------------
+    GordonBellFinalist("Summit finalist (non-AI) 2019a", 2019, "std", False),
+    GordonBellFinalist("Summit finalist (non-AI) 2019b", 2019, "std", False),
+    # -- 2020 standard (4 finalists, 1 AI/ML) --------------------------------------
+    GordonBellFinalist(
+        "Jia et al.", 2020, "std", True, Motif.MD_POTENTIAL, 4560,
+        description="DeePMD-kit machine-learned potentials for water and copper",
+    ),
+    GordonBellFinalist("Summit finalist (non-AI) 2020a", 2020, "std", False),
+    GordonBellFinalist("Summit finalist (non-AI) 2020b", 2020, "std", False),
+    GordonBellFinalist("Summit finalist (non-AI) 2020c", 2020, "std", False),
+    # -- 2020 COVID-19 (2 finalists, 2 AI/ML) ----------------------------------------
+    GordonBellFinalist(
+        "Casalino et al.", 2020, "covid", True, Motif.STEERING, 4096,
+        description="spike dynamics MD steered by PointNet adversarial AE",
+    ),
+    GordonBellFinalist(
+        "Glaser et al.", 2020, "covid", True, Motif.SURROGATE_MODEL, 4602,
+        description="chemical screening; random-forest affinity scoring",
+    ),
+    # -- 2021 standard (1 finalist, 1 AI/ML) -------------------------------------------
+    GordonBellFinalist(
+        "Nguyen-Cong et al.", 2021, "std", True, Motif.MD_POTENTIAL, 4650,
+        description="billion-atom carbon MD with SNAP ML potentials",
+    ),
+    # -- 2021 COVID-19 (3 finalists, 3 AI/ML) --------------------------------------------
+    GordonBellFinalist(
+        "Blanchard et al.", 2021, "covid", True, Motif.CLASSIFICATION, 4032, 603e15,
+        description="GA drug search over BERT/transformer embeddings",
+    ),
+    GordonBellFinalist(
+        "Amaro et al.", 2021, "covid", True, Motif.STEERING, 4096,
+        description="DeepDriveMD-guided aerosol simulation; OrbNet, ANCA-AE",
+    ),
+    GordonBellFinalist(
+        "Trifan et al.", 2021, "covid", True, Motif.STEERING, 256,
+        description="multiscale replication-transcription machinery; GNO+CVAE",
+    ),
+)
+
+
+def gordon_bell_table() -> dict[tuple[int, str], tuple[int, int]]:
+    """Recompute Table III from the registry:
+    (year, category) -> (summit_finalists, summit_ai_ml_finalists)."""
+    out: dict[tuple[int, str], tuple[int, int]] = {}
+    for finalist in GORDON_BELL_FINALISTS:
+        key = (finalist.year, finalist.category)
+        total, ai = out.get(key, (0, 0))
+        out[key] = (total + 1, ai + (1 if finalist.uses_ai else 0))
+    return out

@@ -1,0 +1,157 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands mirror the paper's strands:
+
+- ``machine``   — describe Summit (or a companion cluster);
+- ``comm``      — Section VI-B allreduce analysis for a catalog model;
+- ``io``        — Section VI-B read-bandwidth feasibility;
+- ``scaling``   — weak/strong scaling table for a catalog model;
+- ``apps``      — simulate the five Section IV-B applications;
+- ``survey``    — regenerate Figures 1-6 from the calibrated portfolio;
+- ``gordon-bell`` — print Table III and the AI finalist list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import units
+from repro.core import ScalingStudyRunner, SummitSimulator, UsageSurvey
+from repro.models.catalog import CATALOG
+from repro.training.parallelism import DataSource, ParallelismPlan
+from repro.training.scaling import ScalingStudy
+
+
+def _cmd_machine(args: argparse.Namespace) -> int:
+    from repro.machine.summit import andes, rhea, summit
+
+    factory = {"summit": summit, "rhea": rhea, "andes": andes}[args.system]
+    print(factory().describe())
+    return 0
+
+
+def _cmd_comm(args: argparse.Namespace) -> int:
+    sim = SummitSimulator()
+    estimate = sim.allreduce_estimate(args.model)
+    detailed = sim.allreduce_detailed(args.model, args.nodes)
+    print(f"model:            {args.model}")
+    print(f"paper estimate:   {units.format_time(estimate)} "
+          f"(message / 12.5 GB/s)")
+    print(f"ring at {args.nodes} nodes: {units.format_time(detailed)} "
+          f"(latency included)")
+    return 0
+
+
+def _cmd_io(args: argparse.Namespace) -> int:
+    sim = SummitSimulator()
+    print(sim.io_report(args.model, n_nodes=args.nodes)["summary"])
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    plan = ParallelismPlan(
+        local_batch=args.batch,
+        accumulation_steps=args.accumulation,
+        model_shards=args.shards,
+        overlap_fraction=args.overlap,
+        compute_jitter_cv=args.jitter,
+    )
+    runner = ScalingStudyRunner(
+        args.model, plan, data_source=DataSource(args.data_source)
+    )
+    nodes = [int(n) for n in args.nodes.split(",")]
+    print(runner.table(nodes, strong=args.strong))
+    return 0
+
+
+def _cmd_apps(args: argparse.Namespace) -> int:
+    from repro.apps.extreme_scale import EXTREME_SCALE_APPS
+
+    print(f"{'app':<11}{'nodes':>7}{'PFLOP/s':>10}{'efficiency':>12}  reported")
+    for key, app in EXTREME_SCALE_APPS.items():
+        result = app.simulate()
+        print(
+            f"{key:<11}{app.peak_nodes:>7}"
+            f"{result['measured_flops'] / 1e15:>10.1f}"
+            f"{result['measured_efficiency']:>11.1%}  {result['reported']}"
+        )
+    return 0
+
+
+def _cmd_survey(args: argparse.Namespace) -> int:
+    print(UsageSurvey.calibrated(seed=args.seed).report())
+    return 0
+
+
+def _cmd_gordon_bell(args: argparse.Namespace) -> int:
+    from repro.apps.registry import GORDON_BELL_FINALISTS, gordon_bell_table
+
+    print("Table III — Summit Gordon Bell finalists (total / AI-ML)")
+    for (year, category), (total, ai) in sorted(gordon_bell_table().items()):
+        print(f"  {year} {category:<6} {total} / {ai}")
+    if args.verbose:
+        for f in GORDON_BELL_FINALISTS:
+            if f.uses_ai:
+                print(f"  {f.year} [{f.category}] {f.name}: {f.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'Learning to Scale the Summit'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("machine", help="describe an OLCF system")
+    p.add_argument("--system", choices=("summit", "rhea", "andes"),
+                   default="summit")
+    p.set_defaults(fn=_cmd_machine)
+
+    p = sub.add_parser("comm", help="Section VI-B allreduce analysis")
+    p.add_argument("--model", choices=sorted(CATALOG), default="bert_large")
+    p.add_argument("--nodes", type=int, default=4608)
+    p.set_defaults(fn=_cmd_comm)
+
+    p = sub.add_parser("io", help="Section VI-B read-bandwidth feasibility")
+    p.add_argument("--model", choices=sorted(CATALOG), default="resnet50")
+    p.add_argument("--nodes", type=int, default=None)
+    p.set_defaults(fn=_cmd_io)
+
+    p = sub.add_parser("scaling", help="scaling study for a catalog model")
+    p.add_argument("--model", choices=sorted(CATALOG), default="resnet50")
+    p.add_argument("--nodes", default="1,16,256,4096",
+                   help="comma-separated node counts")
+    p.add_argument("--batch", type=int, default=32)
+    p.add_argument("--accumulation", type=int, default=1)
+    p.add_argument("--shards", type=int, default=1)
+    p.add_argument("--overlap", type=float, default=0.7)
+    p.add_argument("--jitter", type=float, default=0.0)
+    p.add_argument("--data-source", choices=[s.value for s in DataSource],
+                   default="nvme")
+    p.add_argument("--strong", action="store_true",
+                   help="strong scaling (fixed global batch)")
+    p.set_defaults(fn=_cmd_scaling)
+
+    p = sub.add_parser("apps", help="simulate the Section IV-B applications")
+    p.set_defaults(fn=_cmd_apps)
+
+    p = sub.add_parser("survey", help="regenerate the usage-survey figures")
+    p.add_argument("--seed", type=int, default=2022)
+    p.set_defaults(fn=_cmd_survey)
+
+    p = sub.add_parser("gordon-bell", help="Table III and AI finalists")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(fn=_cmd_gordon_bell)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

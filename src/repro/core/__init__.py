@@ -1,0 +1,5 @@
+"""High-level facade: the three entry points most users want."""
+
+from repro.core.api import ScalingStudyRunner, SummitSimulator, UsageSurvey
+
+__all__ = ["ScalingStudyRunner", "SummitSimulator", "UsageSurvey"]

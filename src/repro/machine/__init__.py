@@ -1,0 +1,38 @@
+"""Hardware models for Summit and its companion OLCF systems.
+
+This package provides the static hardware catalog the rest of the library
+builds on: GPU and CPU specifications (:mod:`repro.machine.gpu`,
+:mod:`repro.machine.cpu`), node compositions (:mod:`repro.machine.node`),
+whole systems (:mod:`repro.machine.system`) and the concrete OLCF machines
+described in Section II-A of the paper (:mod:`repro.machine.summit`).
+"""
+
+from repro.machine.cpu import AMD_EPYC_7302, IBM_POWER9, INTEL_XEON_E5_2650V2, CpuSpec
+from repro.machine.gpu import NVIDIA_K80, NVIDIA_V100, GpuSpec, Precision
+from repro.machine.node import NodeSpec
+from repro.machine.summit import (
+    andes,
+    rhea,
+    summit,
+    summit_high_mem_node,
+    summit_node,
+)
+from repro.machine.system import System
+
+__all__ = [
+    "AMD_EPYC_7302",
+    "CpuSpec",
+    "GpuSpec",
+    "IBM_POWER9",
+    "INTEL_XEON_E5_2650V2",
+    "NVIDIA_K80",
+    "NVIDIA_V100",
+    "NodeSpec",
+    "Precision",
+    "System",
+    "andes",
+    "rhea",
+    "summit",
+    "summit_high_mem_node",
+    "summit_node",
+]

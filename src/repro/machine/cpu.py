@@ -1,0 +1,64 @@
+"""CPU specifications for the OLCF systems surveyed in Section II-A."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Static description of a CPU socket.
+
+    ``usable_cores`` may be smaller than ``cores`` when the facility reserves
+    cores for system services: one core of each Summit POWER9 is held back,
+    leaving 42 of 44 cores per node for user processes.
+    """
+
+    name: str
+    cores: int
+    usable_cores: int
+    clock_hz: float
+    flops_per_cycle: float = 8.0  # per core, double precision
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError(f"{self.name}: cores must be positive")
+        if not 0 < self.usable_cores <= self.cores:
+            raise ConfigurationError(
+                f"{self.name}: usable_cores must be in (0, {self.cores}]"
+            )
+        if self.clock_hz <= 0:
+            raise ConfigurationError(f"{self.name}: clock must be positive")
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak double-precision FLOP/s of the full socket."""
+        return self.cores * self.clock_hz * self.flops_per_cycle
+
+
+#: Summit host processor: 22 cores, one reserved for the system.
+IBM_POWER9 = CpuSpec(
+    name="IBM POWER9",
+    cores=22,
+    usable_cores=21,
+    clock_hz=3.07 * units.GIGA,
+)
+
+#: Rhea CPU-partition processor.
+INTEL_XEON_E5_2650V2 = CpuSpec(
+    name="Intel Xeon E5-2650 v2",
+    cores=8,
+    usable_cores=8,
+    clock_hz=2.6 * units.GIGA,
+)
+
+#: Andes processor.
+AMD_EPYC_7302 = CpuSpec(
+    name="AMD EPYC 7302",
+    cores=16,
+    usable_cores=16,
+    clock_hz=3.0 * units.GIGA,
+)

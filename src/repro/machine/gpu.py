@@ -1,0 +1,94 @@
+"""GPU specifications.
+
+The central figure for the paper is the NVIDIA Tesla V100's tensor-core
+mixed-precision peak of 125 TFLOP/s: six V100s per node over 4 608 nodes is
+what gives Summit its "over 3 AI-ExaOps" headline (Section I).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import ConfigurationError
+
+
+class Precision(enum.Enum):
+    """Arithmetic precision classes used in performance accounting."""
+
+    FP64 = "fp64"
+    FP32 = "fp32"
+    MIXED = "mixed"  # FP16 tensor-core with FP32 accumulate
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of a GPU model.
+
+    Parameters
+    ----------
+    name:
+        Marketing name, e.g. ``"NVIDIA Tesla V100"``.
+    peak_flops:
+        Peak FLOP/s per precision class.
+    memory_bytes:
+        On-device (HBM) capacity in bytes.
+    memory_bandwidth:
+        Peak device-memory bandwidth in bytes/s.
+    nvlink_bandwidth:
+        Per-direction NVLink bandwidth available to the device in bytes/s
+        (0 for PCIe-only parts).
+    """
+
+    name: str
+    peak_flops: dict[Precision, float]
+    memory_bytes: float
+    memory_bandwidth: float
+    nvlink_bandwidth: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.peak_flops:
+            raise ConfigurationError("peak_flops must list at least one precision")
+        for precision, flops in self.peak_flops.items():
+            if flops <= 0:
+                raise ConfigurationError(
+                    f"{self.name}: non-positive peak for {precision}: {flops}"
+                )
+        if self.memory_bytes <= 0 or self.memory_bandwidth <= 0:
+            raise ConfigurationError(f"{self.name}: memory spec must be positive")
+
+    def peak(self, precision: Precision = Precision.MIXED) -> float:
+        """Peak FLOP/s at ``precision``, falling back to FP32 if the class is
+        not natively supported (a GPU without tensor cores runs mixed work at
+        its FP32 rate)."""
+        if precision in self.peak_flops:
+            return self.peak_flops[precision]
+        if precision is Precision.MIXED and Precision.FP32 in self.peak_flops:
+            return self.peak_flops[Precision.FP32]
+        raise ConfigurationError(f"{self.name}: no peak known for {precision}")
+
+
+#: Summit's GPU: 16 GB HBM2 (the paper counts 6 x 16 GB = 96 GB per node).
+NVIDIA_V100 = GpuSpec(
+    name="NVIDIA Tesla V100",
+    peak_flops={
+        Precision.FP64: 7.8 * units.TFLOPS,
+        Precision.FP32: 15.7 * units.TFLOPS,
+        Precision.MIXED: 125.0 * units.TFLOPS,
+    },
+    memory_bytes=16 * units.GIB,
+    memory_bandwidth=900 * units.GB,
+    nvlink_bandwidth=50 * units.GB,
+)
+
+#: Rhea GPU-partition accelerator (pre-tensor-core; no MIXED entry on purpose).
+NVIDIA_K80 = GpuSpec(
+    name="NVIDIA Tesla K80",
+    peak_flops={
+        Precision.FP64: 2.91 * units.TFLOPS,
+        Precision.FP32: 8.73 * units.TFLOPS,
+    },
+    memory_bytes=24 * units.GIB,
+    memory_bandwidth=480 * units.GB,
+)

@@ -1,0 +1,156 @@
+"""Factories for the concrete OLCF machines of Section II-A.
+
+All capacities and rates below are as stated in the paper (see DESIGN.md
+"Calibration constants"); where the paper gives no number (e.g. Andes'
+interconnect) we use the published system documentation values.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.machine.cpu import AMD_EPYC_7302, IBM_POWER9, INTEL_XEON_E5_2650V2
+from repro.machine.gpu import NVIDIA_K80, NVIDIA_V100, GpuSpec
+from repro.machine.node import NodeSpec
+from repro.machine.system import System
+from repro.network.link import LinkSpec
+from repro.storage.filesystem import SUMMIT_GPFS
+
+
+def summit_node() -> NodeSpec:
+    """An original Summit AC922 node: 2 x POWER9 + 6 x V100, 512 GB DDR,
+    96 GB HBM2 aggregate, 1.6 TB NVMe, dual-rail EDR."""
+    return NodeSpec(
+        name="IBM AC922 (Summit)",
+        cpus=IBM_POWER9,
+        cpu_count=2,
+        gpus=NVIDIA_V100,
+        gpu_count=6,
+        host_memory_bytes=512 * units.GIB,
+        nvme_bytes=1.6 * units.TB,
+        nvme_read_bandwidth=6.0 * units.GB,
+        nvme_write_bandwidth=2.1 * units.GB,
+        injection_bandwidth=25 * units.GB,
+        tags=frozenset({"gpu", "nvme"}),
+    )
+
+
+def summit_high_mem_node() -> NodeSpec:
+    """A Summer-2020 "high memory" node: 192 GB HBM2, 2 TB DDR4, 6.4 TB NVMe.
+
+    The doubled HBM is modelled by doubling the per-GPU memory (32 GB V100s).
+    """
+    big_v100 = GpuSpec(
+        name="NVIDIA Tesla V100 (32 GB)",
+        peak_flops=NVIDIA_V100.peak_flops,
+        memory_bytes=32 * units.GIB,
+        memory_bandwidth=NVIDIA_V100.memory_bandwidth,
+        nvlink_bandwidth=NVIDIA_V100.nvlink_bandwidth,
+    )
+    return NodeSpec(
+        name="IBM AC922 (Summit high-mem)",
+        cpus=IBM_POWER9,
+        cpu_count=2,
+        gpus=big_v100,
+        gpu_count=6,
+        host_memory_bytes=2 * units.TB,
+        nvme_bytes=6.4 * units.TB,
+        nvme_read_bandwidth=24.0 * units.GB,
+        nvme_write_bandwidth=8.4 * units.GB,
+        injection_bandwidth=25 * units.GB,
+        tags=frozenset({"gpu", "nvme", "high-mem"}),
+    )
+
+
+def summit(include_high_mem: bool = True) -> System:
+    """The full Summit system: 4 608 original nodes (+54 high-memory nodes).
+
+    >>> s = summit()
+    >>> round(s.peak_flops() / 1e18, 2)   # "over 3 AI-ExaOps"
+    3.5
+    """
+    extras = ((summit_high_mem_node(), 54),) if include_high_mem else ()
+    return System(
+        name="Summit",
+        node=summit_node(),
+        node_count=4608,
+        interconnect=LinkSpec(latency=1.0 * units.US, bandwidth=12.5 * units.GB, rails=2),
+        shared_fs=SUMMIT_GPFS,
+        extra_partitions=extras,
+        fabric_levels=3,
+        fabric_radix=36,
+    )
+
+
+def rhea() -> System:
+    """Rhea, the original companion analysis cluster (retired late 2020)."""
+    cpu_node = NodeSpec(
+        name="Rhea CPU node",
+        cpus=INTEL_XEON_E5_2650V2,
+        cpu_count=2,
+        gpus=None,
+        gpu_count=0,
+        host_memory_bytes=128 * units.GIB,
+        nvme_bytes=0.0,
+        nvme_read_bandwidth=0.0,
+        nvme_write_bandwidth=0.0,
+        injection_bandwidth=7 * units.GB,
+    )
+    gpu_node = NodeSpec(
+        name="Rhea GPU node",
+        cpus=INTEL_XEON_E5_2650V2,
+        cpu_count=2,
+        gpus=NVIDIA_K80,
+        gpu_count=2,
+        host_memory_bytes=1 * units.TIB,
+        nvme_bytes=0.0,
+        nvme_read_bandwidth=0.0,
+        nvme_write_bandwidth=0.0,
+        injection_bandwidth=7 * units.GB,
+    )
+    return System(
+        name="Rhea",
+        node=cpu_node,
+        node_count=512,
+        interconnect=LinkSpec(latency=1.3 * units.US, bandwidth=7 * units.GB),
+        shared_fs=SUMMIT_GPFS,
+        extra_partitions=((gpu_node, 9),),
+        fabric_levels=2,
+    )
+
+
+def andes() -> System:
+    """Andes, Rhea's late-2020 replacement (704 nodes, EPYC), keeping Rhea's
+    nine K80 GPU nodes."""
+    cpu_node = NodeSpec(
+        name="Andes CPU node",
+        cpus=AMD_EPYC_7302,
+        cpu_count=2,
+        gpus=None,
+        gpu_count=0,
+        host_memory_bytes=256 * units.GIB,
+        nvme_bytes=0.0,
+        nvme_read_bandwidth=0.0,
+        nvme_write_bandwidth=0.0,
+        injection_bandwidth=12.5 * units.GB,
+    )
+    gpu_node = NodeSpec(
+        name="Andes GPU node (ex-Rhea)",
+        cpus=INTEL_XEON_E5_2650V2,
+        cpu_count=2,
+        gpus=NVIDIA_K80,
+        gpu_count=2,
+        host_memory_bytes=1 * units.TIB,
+        nvme_bytes=0.0,
+        nvme_read_bandwidth=0.0,
+        nvme_write_bandwidth=0.0,
+        injection_bandwidth=7 * units.GB,
+    )
+    return System(
+        name="Andes",
+        node=cpu_node,
+        node_count=695,
+        interconnect=LinkSpec(latency=1.3 * units.US, bandwidth=12.5 * units.GB),
+        shared_fs=SUMMIT_GPFS,
+        extra_partitions=((gpu_node, 9),),
+        fabric_levels=2,
+    )

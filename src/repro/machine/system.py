@@ -1,0 +1,142 @@
+"""Whole-system model: nodes + interconnect + storage hierarchy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.errors import CapacityError, ConfigurationError
+from repro.machine.gpu import Precision
+from repro.machine.node import NodeSpec
+from repro.network.link import LinkSpec
+from repro.network.topology import FatTree, FatTreeSpec
+from repro.storage.burst_buffer import BurstBuffer
+from repro.storage.filesystem import SharedFileSystem
+
+
+@dataclass(frozen=True)
+class System:
+    """A complete machine: homogeneous node partitions plus fabric and storage.
+
+    Parameters
+    ----------
+    name:
+        Machine name ("Summit", "Andes", ...).
+    node / node_count:
+        The main partition's node spec and size.
+    extra_partitions:
+        Additional (spec, count) partitions — e.g. Summit's 54 high-memory
+        nodes or Andes' nine inherited GPU nodes.
+    interconnect:
+        Per-node injection link spec.
+    fabric_levels / fabric_radix:
+        Fat-tree shape parameters for on-demand topology instantiation.
+    shared_fs:
+        Center-wide filesystem; ``None`` for a cluster sharing another
+        system's filesystem (Rhea/Andes mount Summit's).
+    """
+
+    name: str
+    node: NodeSpec
+    node_count: int
+    interconnect: LinkSpec
+    shared_fs: SharedFileSystem | None = None
+    extra_partitions: tuple[tuple[NodeSpec, int], ...] = field(default_factory=tuple)
+    fabric_levels: int = 3
+    fabric_radix: int = 36
+
+    def __post_init__(self) -> None:
+        if self.node_count < 1:
+            raise ConfigurationError(f"{self.name}: need at least one node")
+        for spec, count in self.extra_partitions:
+            if count < 1:
+                raise ConfigurationError(
+                    f"{self.name}: empty extra partition {spec.name}"
+                )
+
+    # -- aggregates -------------------------------------------------------------
+
+    @property
+    def total_nodes(self) -> int:
+        return self.node_count + sum(c for _, c in self.extra_partitions)
+
+    @property
+    def total_gpus(self) -> int:
+        total = self.node_count * self.node.gpu_count
+        total += sum(spec.gpu_count * c for spec, c in self.extra_partitions)
+        return total
+
+    def peak_flops(self, precision: Precision = Precision.MIXED) -> float:
+        """System peak at ``precision`` across all partitions."""
+        total = self.node_count * self.node.peak_flops(precision)
+        for spec, count in self.extra_partitions:
+            total += count * spec.peak_flops(precision)
+        return total
+
+    @property
+    def nvme(self) -> BurstBuffer | None:
+        """Main-partition burst buffer, if the nodes have one."""
+        if not self.node.has_nvme:
+            return None
+        return BurstBuffer(
+            capacity_bytes=self.node.nvme_bytes,
+            read_bandwidth=self.node.nvme_read_bandwidth,
+            write_bandwidth=self.node.nvme_write_bandwidth,
+        )
+
+    def aggregate_nvme_read_bandwidth(self, n_nodes: int | None = None) -> float:
+        nvme = self.nvme
+        if nvme is None:
+            return 0.0
+        return nvme.aggregate_read_bandwidth(n_nodes or self.node_count)
+
+    # -- allocation ---------------------------------------------------------------
+
+    def require_nodes(self, n: int) -> None:
+        """Raise :class:`CapacityError` if an ``n``-node job cannot be placed
+        on the main partition."""
+        if n < 1:
+            raise ConfigurationError("job size must be at least one node")
+        if n > self.node_count:
+            raise CapacityError(
+                f"{self.name}: requested {n} nodes, main partition has "
+                f"{self.node_count}"
+            )
+
+    def build_fabric(self, hosts: int | None = None) -> FatTree:
+        """Instantiate the fat-tree graph for ``hosts`` nodes (default: all).
+
+        Building the full 4 608-host graph is feasible but slow; topology
+        studies typically instantiate a sub-tree.
+        """
+        n = hosts if hosts is not None else self.total_nodes
+        self.require_nodes(min(n, self.node_count))
+        return FatTree(
+            FatTreeSpec(
+                hosts=n,
+                radix=self.fabric_radix,
+                levels=self.fabric_levels,
+                link=LinkSpec(
+                    latency=self.interconnect.latency,
+                    bandwidth=self.interconnect.bandwidth,
+                    rails=self.interconnect.rails,
+                ),
+            )
+        )
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary."""
+        parts = [
+            f"{self.name}: {self.node_count} x {self.node.name}",
+            f"{self.total_gpus} GPUs" if self.total_gpus else "CPU-only",
+            f"peak {units.format_flops(self.peak_flops(Precision.MIXED))} (mixed)"
+            if self.total_gpus
+            else "",
+            f"injection {units.format_rate(self.interconnect.total_bandwidth)}",
+        ]
+        if self.shared_fs is not None:
+            parts.append(
+                f"{self.shared_fs.name} read "
+                f"{units.format_rate(self.shared_fs.aggregate_read_bandwidth)}"
+            )
+        return ", ".join(p for p in parts if p)

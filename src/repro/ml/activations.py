@@ -1,0 +1,71 @@
+"""Activation functions with derivatives, as (forward, backward) pairs.
+
+The backward functions take the *forward output* where that is cheaper
+(sigmoid/tanh) and the input where required (relu), which the Dense layer
+accounts for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative w.r.t. the pre-activation input ``x``."""
+    return (x > 0.0).astype(x.dtype)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def tanh_grad(x: np.ndarray) -> np.ndarray:
+    y = np.tanh(x)
+    return 1.0 - y * y
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    # Numerically stable piecewise form.
+    out = np.empty_like(x, dtype=float)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def sigmoid_grad(x: np.ndarray) -> np.ndarray:
+    y = sigmoid(x)
+    return y * (1.0 - y)
+
+
+def identity(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+def identity_grad(x: np.ndarray) -> np.ndarray:
+    return np.ones_like(x)
+
+
+ACTIVATIONS = {
+    "relu": (relu, relu_grad),
+    "tanh": (tanh, tanh_grad),
+    "sigmoid": (sigmoid, sigmoid_grad),
+    "identity": (identity, identity_grad),
+}
+
+
+def get_activation(name: str):
+    """Return the (forward, grad) pair for ``name``."""
+    try:
+        return ACTIVATIONS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown activation {name!r}; available: {sorted(ACTIVATIONS)}"
+        ) from None

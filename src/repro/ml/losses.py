@@ -1,0 +1,52 @@
+"""Loss functions returning (value, gradient-w.r.t.-prediction)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def mse(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error over all elements."""
+    if pred.shape != target.shape:
+        raise ConfigurationError(f"shape mismatch {pred.shape} vs {target.shape}")
+    diff = pred - target
+    n = pred.size
+    return float(np.mean(diff * diff)), 2.0 * diff / n
+
+
+def binary_cross_entropy(
+    pred: np.ndarray, target: np.ndarray, eps: float = 1e-12
+) -> tuple[float, np.ndarray]:
+    """BCE on probabilities in (0, 1)."""
+    if pred.shape != target.shape:
+        raise ConfigurationError(f"shape mismatch {pred.shape} vs {target.shape}")
+    p = np.clip(pred, eps, 1.0 - eps)
+    value = float(-np.mean(target * np.log(p) + (1 - target) * np.log(1 - p)))
+    grad = (p - target) / (p * (1 - p)) / pred.size
+    return value, grad
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Cross entropy with integer ``labels``; gradient w.r.t. logits.
+
+    ``logits``: (batch, classes); ``labels``: (batch,) ints.
+    """
+    if logits.ndim != 2:
+        raise ConfigurationError("logits must be 2-D (batch, classes)")
+    if labels.shape != (logits.shape[0],):
+        raise ConfigurationError("labels must be (batch,)")
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    n = logits.shape[0]
+    nll = -np.log(np.clip(probs[np.arange(n), labels], 1e-12, None))
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    return float(nll.mean()), grad / n
+
+
+LOSSES = {"mse": mse, "bce": binary_cross_entropy}

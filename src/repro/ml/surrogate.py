@@ -1,0 +1,81 @@
+"""Ensemble surrogate with uncertainty — the generic "surrogate model" motif.
+
+Wraps an ensemble of MLPs trained on bootstrap resamples. The ensemble
+spread provides the uncertainty signal that drives active learning in the
+materials workflow (query where the surrogate is unsure, refine with the
+expensive first-principles evaluation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ml.mlp import MLP
+
+
+class EnsembleSurrogate:
+    """Bootstrap ensemble of MLP regressors.
+
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> x = rng.uniform(-1, 1, size=(200, 2))
+    >>> y = x[:, :1] ** 2 + x[:, 1:] ** 2
+    >>> s = EnsembleSurrogate(n_features=2, n_members=3, seed=0)
+    >>> _ = s.fit(x, y, epochs=150)
+    >>> mean, std = s.predict(x[:5])
+    >>> mean.shape, std.shape
+    ((5, 1), (5, 1))
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        n_outputs: int = 1,
+        n_members: int = 5,
+        hidden: list[int] | None = None,
+        seed: int | None = None,
+    ):
+        if n_members < 1:
+            raise ConfigurationError("n_members must be >= 1")
+        hidden = hidden if hidden is not None else [32, 32]
+        base = 0 if seed is None else seed
+        self.members = [
+            MLP([n_features, *hidden, n_outputs], seed=base + i)
+            for i in range(n_members)
+        ]
+        self.seed = seed
+        self._fitted = False
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 200,
+        lr: float = 1e-2,
+        batch_size: int = 32,
+    ) -> "EnsembleSurrogate":
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.atleast_2d(np.asarray(y, dtype=float))
+        rng = np.random.default_rng(self.seed)
+        n = x.shape[0]
+        for member in self.members:
+            idx = rng.integers(0, n, size=n)
+            member.fit(
+                x[idx], y[idx], epochs=epochs, lr=lr, batch_size=batch_size,
+                seed=int(rng.integers(2**31)),
+            )
+        self._fitted = True
+        return self
+
+    def predict(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(mean, std) over ensemble members."""
+        if not self._fitted:
+            raise ConfigurationError("predict called before fit")
+        preds = np.stack([m.predict(x) for m in self.members])
+        return preds.mean(axis=0), preds.std(axis=0)
+
+    def acquisition(self, x: np.ndarray) -> np.ndarray:
+        """Active-learning acquisition score: per-point mean ensemble std."""
+        _, std = self.predict(x)
+        return std.mean(axis=1)

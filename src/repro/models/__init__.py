@@ -1,0 +1,42 @@
+"""Analytic descriptions of the deep-learning models the paper discusses.
+
+Each :class:`~repro.models.base.ModelSpec` carries the quantities the
+training simulator needs: parameter count (hence allreduce message size),
+training FLOPs per sample, input bytes per sample, and the sustained
+fraction of V100 tensor-core peak the implementation achieves on one GPU
+(calibrated from the rates reported in Section IV-B).
+"""
+
+from repro.models.base import ModelSpec
+from repro.models.catalog import (
+    CATALOG,
+    bert_large,
+    cvae,
+    deeplabv3plus,
+    deepmd,
+    fc_densenet,
+    get_model,
+    pi_gan,
+    pointnet_aae,
+    resnet50,
+    smiles_bert,
+    tiramisu,
+    wavenet_gw,
+)
+
+__all__ = [
+    "CATALOG",
+    "ModelSpec",
+    "bert_large",
+    "cvae",
+    "deeplabv3plus",
+    "deepmd",
+    "fc_densenet",
+    "get_model",
+    "pi_gan",
+    "pointnet_aae",
+    "resnet50",
+    "smiles_bert",
+    "tiramisu",
+    "wavenet_gw",
+]

@@ -1,0 +1,104 @@
+"""ModelSpec: the analytic contract between a network and the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.machine.gpu import GpuSpec, Precision
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Analytic description of a neural network for performance modelling.
+
+    Parameters
+    ----------
+    name:
+        Model identifier.
+    parameters:
+        Trainable parameter count. The data-parallel allreduce message is
+        ``parameters * gradient_bytes_per_param``.
+    flops_per_sample:
+        Training FLOPs (forward + backward) per sample.
+    bytes_per_sample:
+        Stored input size per training sample (drives the I/O model).
+    sustained_fraction:
+        Fraction of the accelerator's mixed-precision peak the single-GPU
+        implementation sustains. Calibrated per model from Section IV-B
+        (e.g. Laanait's FC-DenseNet sustains ~0.62 of V100 tensor peak,
+        ResNet-50 ~0.09).
+    default_local_batch:
+        Per-GPU batch size typically used.
+    gradient_bytes_per_param:
+        4 for FP32 gradient buffers (the common Horovod configuration the
+        paper's message sizes imply), 2 for FP16 compression.
+    activation_bytes_per_sample:
+        Peak activation memory per sample (for the memory-capacity check
+        and the model-parallel decision).
+    sparsity:
+        Reserved: fraction of FLOPs elided by structured sparsity (paper
+        Section IV-B closing remark). 0.0 = dense.
+    """
+
+    name: str
+    parameters: float
+    flops_per_sample: float
+    bytes_per_sample: float
+    sustained_fraction: float
+    default_local_batch: int = 32
+    gradient_bytes_per_param: float = 4.0
+    activation_bytes_per_sample: float = 0.0
+    sparsity: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.parameters <= 0:
+            raise ConfigurationError(f"{self.name}: parameters must be positive")
+        if self.flops_per_sample <= 0:
+            raise ConfigurationError(f"{self.name}: flops_per_sample must be positive")
+        if self.bytes_per_sample <= 0:
+            raise ConfigurationError(f"{self.name}: bytes_per_sample must be positive")
+        if not 0 < self.sustained_fraction <= 1:
+            raise ConfigurationError(
+                f"{self.name}: sustained_fraction must be in (0, 1]"
+            )
+        if self.default_local_batch < 1:
+            raise ConfigurationError(f"{self.name}: local batch must be >= 1")
+        if self.gradient_bytes_per_param not in (2.0, 4.0):
+            raise ConfigurationError(
+                f"{self.name}: gradient dtype must be fp16 (2) or fp32 (4) bytes"
+            )
+        if not 0 <= self.sparsity < 1:
+            raise ConfigurationError(f"{self.name}: sparsity must be in [0, 1)")
+
+    @property
+    def gradient_bytes(self) -> float:
+        """Allreduce message size per replica in bytes."""
+        return self.parameters * self.gradient_bytes_per_param
+
+    @property
+    def effective_flops_per_sample(self) -> float:
+        """FLOPs per sample after sparsity elision."""
+        return self.flops_per_sample * (1.0 - self.sparsity)
+
+    def sustained_flops(self, gpu: GpuSpec, precision: Precision = Precision.MIXED) -> float:
+        """Sustained FLOP/s of this model's kernel mix on one ``gpu``."""
+        return gpu.peak(precision) * self.sustained_fraction
+
+    def samples_per_second(
+        self, gpu: GpuSpec, precision: Precision = Precision.MIXED
+    ) -> float:
+        """Single-GPU training throughput in samples/s."""
+        return self.sustained_flops(gpu, precision) / self.effective_flops_per_sample
+
+    def step_compute_time(
+        self,
+        gpu: GpuSpec,
+        local_batch: int | None = None,
+        precision: Precision = Precision.MIXED,
+    ) -> float:
+        """Seconds of pure compute for one local step."""
+        batch = local_batch if local_batch is not None else self.default_local_batch
+        if batch < 1:
+            raise ConfigurationError("local batch must be >= 1")
+        return batch * self.effective_flops_per_sample / self.sustained_flops(gpu, precision)

@@ -1,0 +1,210 @@
+"""The model catalog.
+
+Calibration sources (see DESIGN.md and EXPERIMENTS.md):
+
+- ResNet-50 / BERT-large: parameter counts chosen so the FP32 gradient
+  messages are ~100 MB and ~1.4 GB, the exact sizes Section VI-B quotes.
+  ResNet-50's sustained fraction reproduces the ~1 445 samples/s/V100 the
+  20 TB/s read-requirement estimate implies.
+- The Section IV-B applications (Kurth, Yang, Laanait, Khan, Blanchard):
+  sustained fractions back-solved from the reported sustained FLOP rates and
+  parallel efficiencies (e.g. Laanait's 2.15 EF over 27 600 GPUs is
+  77.9 TF/GPU = 62 % of V100 tensor peak — the paper notes his gradient-
+  reduction optimisations; Kurth's 1.13 EF at 90.7 % efficiency implies
+  ~45.5 TF/GPU = 36 % single-GPU).
+- Workflow-component models (CVAE, DeePMD, PointNet-AAE): representative
+  literature sizes; only their relative cost matters to the workflow studies.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.models.base import ModelSpec
+
+
+def resnet50() -> ModelSpec:
+    """ResNet-50 for the ImageNet benchmark of Section VI-B."""
+    return ModelSpec(
+        name="ResNet-50",
+        parameters=25.6e6,  # -> 102 MB FP32 gradient ("about 100MB")
+        flops_per_sample=7.8 * units.GFLOPS,
+        bytes_per_sample=500 * units.KB,
+        sustained_fraction=0.0902,  # -> ~1445 samples/s on a V100
+        default_local_batch=128,
+        activation_bytes_per_sample=3.0 * units.MB,
+    )
+
+
+def bert_large() -> ModelSpec:
+    """BERT-large: the communication-bound boundary case of Section VI-B."""
+    return ModelSpec(
+        name="BERT-large",
+        parameters=350e6,  # -> 1.4 GB FP32 gradient
+        flops_per_sample=6 * 350e6 * 128,  # 6 * params * tokens, seq len 128
+        bytes_per_sample=2 * units.KB,
+        sustained_fraction=0.30,
+        default_local_batch=32,
+        activation_bytes_per_sample=48 * units.MB,
+    )
+
+
+def tiramisu() -> ModelSpec:
+    """Tiramisu (FC-DenseNet-103 variant) from Kurth et al. climate
+    segmentation."""
+    return ModelSpec(
+        name="Tiramisu-103 (climate)",
+        parameters=9.4e6,
+        flops_per_sample=4.8 * units.TFLOPS,
+        bytes_per_sample=28 * units.MB,  # 1152x768, 16 channels, fp16
+        sustained_fraction=0.25,
+        default_local_batch=2,
+        gradient_bytes_per_param=2.0,  # fp16 gradient compression
+        activation_bytes_per_sample=1.5 * units.GB,
+    )
+
+
+def deeplabv3plus() -> ModelSpec:
+    """Modified DeepLabv3+ from Kurth et al. — the 1.13 EF configuration."""
+    return ModelSpec(
+        name="DeepLabv3+ (climate)",
+        parameters=43.6e6,
+        flops_per_sample=14.4 * units.TFLOPS,
+        bytes_per_sample=28 * units.MB,
+        sustained_fraction=0.3932,  # calibrated: 1.13 EF at 90.7 % efficiency
+        default_local_batch=2,
+        gradient_bytes_per_param=2.0,
+        activation_bytes_per_sample=2.0 * units.GB,
+    )
+
+
+def pi_gan() -> ModelSpec:
+    """Physics-informed GAN (Yang et al.), stochastic-PDE UQ: small network,
+    huge effective batch via combined data+model parallelism."""
+    return ModelSpec(
+        name="PI-GAN (subsurface flow)",
+        parameters=6.0e6,
+        flops_per_sample=1.5 * units.GFLOPS,
+        bytes_per_sample=1 * units.KB,
+        sustained_fraction=0.41,  # calibrated: >1.2 EF at 93 % efficiency
+        default_local_batch=2048,
+        activation_bytes_per_sample=4 * units.KB,  # small MLP-based nets
+    )
+
+
+def fc_densenet() -> ModelSpec:
+    """FC-DenseNet variant from Laanait et al. electron-microscopy inverse
+    problem — the 2.15 EF peak with heavy gradient-reduction optimisation."""
+    return ModelSpec(
+        name="FC-DenseNet (microscopy)",
+        parameters=220e6,
+        flops_per_sample=30 * units.TFLOPS,
+        bytes_per_sample=2 * units.MB,  # 512x512 diffraction patterns
+        sustained_fraction=0.657,  # calibrated: 2.15 EF peak at 4600 nodes
+        default_local_batch=1,
+        gradient_bytes_per_param=2.0,
+        activation_bytes_per_sample=4.0 * units.GB,
+    )
+
+
+def wavenet_gw() -> ModelSpec:
+    """Modified WaveNet from Khan et al. gravitational-wave parameter
+    inference (LAMB optimizer, 8 -> 1024 nodes at 80 % efficiency)."""
+    return ModelSpec(
+        name="WaveNet (gravitational waves)",
+        parameters=23e6,
+        flops_per_sample=5.0 * units.GFLOPS,
+        bytes_per_sample=32 * units.KB,  # 1-second strain time series
+        sustained_fraction=0.15,
+        default_local_batch=64,
+        activation_bytes_per_sample=2.0 * units.MB,
+    )
+
+
+def smiles_bert() -> ModelSpec:
+    """Blanchard et al. SMILES-BERT compound model (custom vocabulary),
+    pretrained with LAMB and gradient accumulation to a 5.8 M global batch.
+
+    ``bytes_per_sample`` is an *effective* per-sample I/O cost (tokenised
+    sample plus its share of data-pipeline stalls) calibrated so the
+    simulated with-I/O vs. without-I/O efficiencies reproduce the paper's
+    68 % vs. 83.3 % at 4 032 nodes.
+    """
+    return ModelSpec(
+        name="SMILES-BERT (drug discovery)",
+        parameters=110e6,  # -> 440 MB FP32 gradient
+        flops_per_sample=6 * 110e6 * 64,  # seq len 64 SMILES tokens
+        bytes_per_sample=29 * units.KB,
+        sustained_fraction=0.293,  # -> 603 PF peak at 4032 nodes
+        default_local_batch=32,
+        activation_bytes_per_sample=12 * units.MB,
+    )
+
+
+def deepmd() -> ModelSpec:
+    """DeePMD-style machine-learned MD potential (Jia et al., GB 2020)."""
+    return ModelSpec(
+        name="DeePMD potential",
+        parameters=1.1e6,
+        flops_per_sample=0.2 * units.GFLOPS,
+        bytes_per_sample=10 * units.KB,
+        sustained_fraction=0.12,
+        default_local_batch=8,
+    )
+
+
+def cvae() -> ModelSpec:
+    """Convolutional variational autoencoder used by the DeepDriveMD-style
+    steering workflows (Casalino, Amaro, Trifan et al.)."""
+    return ModelSpec(
+        name="CVAE (MD contact maps)",
+        parameters=10e6,
+        flops_per_sample=1.2 * units.GFLOPS,
+        bytes_per_sample=30 * units.KB,
+        sustained_fraction=0.18,
+        default_local_batch=64,
+    )
+
+
+def pointnet_aae() -> ModelSpec:
+    """3D PointNet-based adversarial autoencoder (Casalino et al. spike
+    dynamics steering)."""
+    return ModelSpec(
+        name="PointNet-AAE (spike dynamics)",
+        parameters=15e6,
+        flops_per_sample=2.5 * units.GFLOPS,
+        bytes_per_sample=200 * units.KB,
+        sustained_fraction=0.2,
+        default_local_batch=32,
+    )
+
+
+#: Catalog keys are short snake_case identifiers; values are factories so
+#: every lookup returns a fresh (immutable) spec.
+CATALOG = {
+    "resnet50": resnet50,
+    "bert_large": bert_large,
+    "tiramisu": tiramisu,
+    "deeplabv3plus": deeplabv3plus,
+    "pi_gan": pi_gan,
+    "fc_densenet": fc_densenet,
+    "wavenet_gw": wavenet_gw,
+    "smiles_bert": smiles_bert,
+    "deepmd": deepmd,
+    "cvae": cvae,
+    "pointnet_aae": pointnet_aae,
+}
+
+
+def get_model(key: str) -> ModelSpec:
+    """Look up a model by catalog key.
+
+    >>> get_model("resnet50").name
+    'ResNet-50'
+    """
+    try:
+        return CATALOG[key]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown model {key!r}; available: {sorted(CATALOG)}"
+        ) from None

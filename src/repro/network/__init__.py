@@ -1,0 +1,47 @@
+"""Interconnect models.
+
+The paper's communication analysis (Section VI-B) rests on two facts about
+Summit's network: each node injects at 25 GB/s (dual-rail EDR InfiniBand) and
+ring-based allreduce achieves half the injection bandwidth algorithmically.
+This package provides:
+
+- :mod:`repro.network.link` — alpha-beta (latency/bandwidth) link model;
+- :mod:`repro.network.topology` — non-blocking fat-tree construction
+  (networkx) matching Summit's three-level EDR fabric;
+- :mod:`repro.network.routing` — static vs. adaptive routing and link
+  congestion accounting;
+- :mod:`repro.network.collectives` — cost models for allreduce (ring,
+  recursive doubling, tree), reduce-scatter, allgather and broadcast.
+"""
+
+from repro.network.collectives import (
+    AllreduceAlgorithm,
+    allgather_time,
+    allreduce_time,
+    broadcast_time,
+    paper_allreduce_estimate,
+    reduce_scatter_time,
+    ring_allreduce_time,
+)
+from repro.network.link import LinkSpec
+from repro.network.placement import PlacementStrategy, placement_study
+from repro.network.routing import RouteResult, Router, RoutingPolicy
+from repro.network.topology import FatTree, FatTreeSpec
+
+__all__ = [
+    "AllreduceAlgorithm",
+    "FatTree",
+    "FatTreeSpec",
+    "LinkSpec",
+    "PlacementStrategy",
+    "RouteResult",
+    "Router",
+    "RoutingPolicy",
+    "allgather_time",
+    "allreduce_time",
+    "broadcast_time",
+    "paper_allreduce_estimate",
+    "placement_study",
+    "reduce_scatter_time",
+    "ring_allreduce_time",
+]

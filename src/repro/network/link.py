@@ -1,0 +1,69 @@
+"""Alpha-beta link model.
+
+Message transfer time is modelled as ``alpha + size / bandwidth`` — the
+standard LogP-style first-order model. Summit's dual-rail EDR InfiniBand
+gives 2 x 12.5 GB/s = 25 GB/s injection per node with ~1 microsecond
+MPI-level latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point link characterised by latency and bandwidth.
+
+    Parameters
+    ----------
+    latency:
+        One-way message latency in seconds (the "alpha" term).
+    bandwidth:
+        Sustained bandwidth in bytes/s (the inverse "beta" term).
+    rails:
+        Number of independent rails; bandwidth is *per rail* and aggregates
+        linearly, latency does not improve with rails.
+    """
+
+    latency: float
+    bandwidth: float
+    rails: int = 1
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ConfigurationError(f"negative latency: {self.latency}")
+        if self.bandwidth <= 0:
+            raise ConfigurationError(f"non-positive bandwidth: {self.bandwidth}")
+        if self.rails < 1:
+            raise ConfigurationError(f"rails must be >= 1, got {self.rails}")
+
+    @property
+    def total_bandwidth(self) -> float:
+        """Aggregate bandwidth across rails in bytes/s."""
+        return self.bandwidth * self.rails
+
+    def transfer_time(self, size_bytes: float) -> float:
+        """Time to move ``size_bytes`` across the link (alpha-beta model)."""
+        if size_bytes < 0:
+            raise ConfigurationError(f"negative message size: {size_bytes}")
+        return self.latency + size_bytes / self.total_bandwidth
+
+    def effective_bandwidth(self, size_bytes: float) -> float:
+        """Achieved bytes/s for a message of ``size_bytes`` (latency-degraded)."""
+        if size_bytes <= 0:
+            raise ConfigurationError(f"message size must be positive: {size_bytes}")
+        return size_bytes / self.transfer_time(size_bytes)
+
+
+#: One rail of EDR InfiniBand (100 Gb/s signalling -> 12.5 GB/s payload).
+EDR_RAIL = LinkSpec(latency=1.0 * units.US, bandwidth=12.5 * units.GB)
+
+#: Summit's dual-rail EDR NIC: 25 GB/s injection per node.
+SUMMIT_INJECTION = LinkSpec(latency=1.0 * units.US, bandwidth=12.5 * units.GB, rails=2)
+
+#: NVLink 2.0 brick pair between GPUs inside a Summit node (per direction).
+NVLINK2 = LinkSpec(latency=0.7 * units.US, bandwidth=50 * units.GB)

@@ -1,0 +1,60 @@
+"""Traffic patterns for routing/congestion studies.
+
+The routing study's question — why Summit's fabric uses *adaptive* routing —
+is answered by comparing maximum link load across the communication patterns
+distributed training actually generates: nearest-neighbour rings
+(allreduce), permutations (alltoall/shuffle phases) and incast (parameter
+servers / IO aggregation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def ring_pattern(n_hosts: int) -> list[tuple[int, int]]:
+    """Each host sends to its successor — the ring-allreduce step pattern."""
+    if n_hosts < 2:
+        raise ConfigurationError("need at least two hosts")
+    return [(i, (i + 1) % n_hosts) for i in range(n_hosts)]
+
+
+def permutation_pattern(n_hosts: int, seed: int = 0) -> list[tuple[int, int]]:
+    """A random derangement-ish permutation (no self-flows)."""
+    if n_hosts < 2:
+        raise ConfigurationError("need at least two hosts")
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n_hosts)
+    # rotate fixed points away
+    for i in range(n_hosts):
+        if perm[i] == i:
+            j = (i + 1) % n_hosts
+            perm[i], perm[j] = perm[j], perm[i]
+    return [(i, int(perm[i])) for i in range(n_hosts)]
+
+
+def incast_pattern(n_hosts: int, target: int = 0) -> list[tuple[int, int]]:
+    """All hosts send to one target — IO aggregation / parameter server."""
+    if n_hosts < 2:
+        raise ConfigurationError("need at least two hosts")
+    if not 0 <= target < n_hosts:
+        raise ConfigurationError("target out of range")
+    return [(i, target) for i in range(n_hosts) if i != target]
+
+
+def bisection_pattern(n_hosts: int) -> list[tuple[int, int]]:
+    """Host i in the lower half pairs with i + n/2 — the bisection stressor."""
+    if n_hosts < 2 or n_hosts % 2:
+        raise ConfigurationError("need an even host count >= 2")
+    half = n_hosts // 2
+    return [(i, i + half) for i in range(half)]
+
+
+PATTERNS = {
+    "ring": ring_pattern,
+    "permutation": permutation_pattern,
+    "incast": incast_pattern,
+    "bisection": bisection_pattern,
+}

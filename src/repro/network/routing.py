@@ -1,0 +1,94 @@
+"""Routing and congestion on a fat tree.
+
+Summit's fabric uses *adaptive* routing: each packet may take any of the
+equal-cost shortest paths, spreading load across uplinks. Static routing
+pins each (src, dst) pair to one deterministic path, which under adversarial
+traffic concentrates flows onto a few links. This module lets us measure the
+difference: the maximum link load under a traffic pattern determines the
+slowdown relative to an uncongested fabric.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.errors import ConfigurationError
+from repro.network.topology import FatTree
+
+
+class RoutingPolicy(enum.Enum):
+    STATIC = "static"
+    ADAPTIVE = "adaptive"
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """Outcome of routing a traffic pattern.
+
+    ``max_load`` is the largest per-cable flow count; ``slowdown`` is the
+    resulting throughput degradation factor relative to a congestion-free
+    fabric (1.0 = no congestion).
+    """
+
+    max_load: float
+    mean_load: float
+    slowdown: float
+
+
+class Router:
+    """Routes host-to-host flows over a :class:`FatTree` and accounts load."""
+
+    def __init__(self, tree: FatTree, policy: RoutingPolicy = RoutingPolicy.ADAPTIVE):
+        self.tree = tree
+        self.policy = policy
+
+    def route(
+        self, flows: list[tuple[int, int]], switch_links_only: bool = False
+    ) -> RouteResult:
+        """Route ``flows`` (list of (src_host, dst_host)) and return load stats.
+
+        Static routing sends each flow down a single deterministic shortest
+        path (hash of the pair). Adaptive routing splits each flow evenly
+        across all equal-cost shortest paths, which is the steady-state
+        behaviour of per-packet adaptivity.
+
+        ``switch_links_only`` restricts the statistics to switch-to-switch
+        cables — host NICs trivially carry every flow of their own host, so
+        fabric-contention studies exclude them.
+        """
+        if not flows:
+            raise ConfigurationError("no flows to route")
+        g = self.tree.graph
+        loads: dict[frozenset, float] = {}
+
+        for src, dst in flows:
+            if src == dst:
+                continue
+            a, b = self.tree.host(src), self.tree.host(dst)
+            paths = list(nx.all_shortest_paths(g, a, b))
+            if self.policy is RoutingPolicy.STATIC:
+                chosen = [paths[hash((src, dst)) % len(paths)]]
+                weight = 1.0
+            else:
+                chosen = paths
+                weight = 1.0 / len(paths)
+            for path in chosen:
+                for u, v in zip(path, path[1:]):
+                    if switch_links_only and (u[0] == "host" or v[0] == "host"):
+                        continue
+                    key = frozenset((u, v))
+                    mult = g[u][v]["multiplicity"]
+                    loads[key] = loads.get(key, 0.0) + weight / mult
+
+        if not loads:
+            return RouteResult(max_load=0.0, mean_load=0.0, slowdown=1.0)
+        max_load = max(loads.values())
+        mean_load = sum(loads.values()) / len(loads)
+        return RouteResult(
+            max_load=max_load,
+            mean_load=mean_load,
+            slowdown=max(1.0, max_load),
+        )

@@ -1,0 +1,59 @@
+"""Adam (Kingma & Ba) with bias correction."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.optim.base import Optimizer
+
+
+class Adam(Optimizer):
+    """Standard Adam; the base update reused (pre-trust-ratio) by LAMB."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(lr)
+        if not 0 <= beta1 < 1 or not 0 <= beta2 < 1:
+            raise ConfigurationError("betas must be in [0, 1)")
+        if eps <= 0:
+            raise ConfigurationError("eps must be positive")
+        if weight_decay < 0:
+            raise ConfigurationError("weight_decay must be non-negative")
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self.weight_decay = weight_decay
+        self._m: list[np.ndarray] | None = None
+        self._v: list[np.ndarray] | None = None
+
+    def adam_direction(
+        self, i: int, p: np.ndarray, g: np.ndarray
+    ) -> np.ndarray:
+        """The bias-corrected Adam step direction for tensor ``i`` (no lr)."""
+        assert self._m is not None and self._v is not None
+        m, v = self._m[i], self._v[i]
+        m *= self.beta1
+        m += (1 - self.beta1) * g
+        v *= self.beta2
+        v += (1 - self.beta2) * g * g
+        m_hat = m / (1 - self.beta1**self.t)
+        v_hat = v / (1 - self.beta2**self.t)
+        direction = m_hat / (np.sqrt(v_hat) + self.eps)
+        if self.weight_decay:
+            direction = direction + self.weight_decay * p
+        return direction
+
+    def _ensure_state(self, params: list[np.ndarray]) -> None:
+        if self._m is None:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+
+    def _update(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        self._ensure_state(params)
+        for i, (p, g) in enumerate(zip(params, grads)):
+            p -= self.lr * self.adam_direction(i, p, g)

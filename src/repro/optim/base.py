@@ -1,0 +1,55 @@
+"""Optimizer interface.
+
+Parameters are a list of numpy arrays (one per layer tensor); gradients are
+a parallel list. ``step`` updates parameters in place, which mirrors how the
+:mod:`repro.ml` networks hold their weights.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Optimizer(abc.ABC):
+    """Base class handling learning-rate plumbing and shape checks."""
+
+    def __init__(self, lr: float):
+        if lr <= 0:
+            raise ConfigurationError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self.t = 0  # step counter (1-based after the first step)
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        """Apply one update in place."""
+        if len(params) != len(grads):
+            raise ConfigurationError(
+                f"{len(params)} parameter tensors but {len(grads)} gradients"
+            )
+        for i, (p, g) in enumerate(zip(params, grads)):
+            if p.shape != g.shape:
+                raise ConfigurationError(
+                    f"tensor {i}: parameter shape {p.shape} != gradient shape {g.shape}"
+                )
+        self.t += 1
+        self._update(params, grads)
+
+    @abc.abstractmethod
+    def _update(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        """Subclass hook: apply the update. ``self.t`` is already advanced."""
+
+
+def trust_ratio(param: np.ndarray, update: np.ndarray, eps: float = 1e-9) -> float:
+    """Layer-wise trust ratio ||w|| / ||update|| used by LARS/LAMB/LARC.
+
+    Returns 1.0 when either norm vanishes (e.g. at initialisation of a bias),
+    matching the published implementations.
+    """
+    w_norm = float(np.linalg.norm(param))
+    u_norm = float(np.linalg.norm(update))
+    if w_norm == 0.0 or u_norm < eps:
+        return 1.0
+    return w_norm / u_norm

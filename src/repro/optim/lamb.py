@@ -1,0 +1,40 @@
+"""LAMB — Layer-wise Adaptive Moments for Batch training (You et al.).
+
+The optimizer behind Khan et al. (Section IV-B.4) and Blanchard et al.'s
+5.8-million global batch (Section IV-B.5): the Adam direction per layer,
+rescaled by the LARS trust ratio. The trust ratio is clipped to
+``[0, clip]`` as in the reference implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.optim.adam import Adam
+from repro.optim.base import trust_ratio
+
+
+class LAMB(Adam):
+    """LAMB = Adam direction x layer-wise trust ratio."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-6,
+        weight_decay: float = 0.01,
+        clip: float = 10.0,
+    ):
+        super().__init__(lr, beta1, beta2, eps, weight_decay)
+        if clip <= 0:
+            raise ConfigurationError("trust-ratio clip must be positive")
+        self.clip = clip
+
+    def _update(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        self._ensure_state(params)
+        for i, (p, g) in enumerate(zip(params, grads)):
+            direction = self.adam_direction(i, p, g)
+            ratio = min(trust_ratio(p, direction), self.clip)
+            p -= self.lr * ratio * direction

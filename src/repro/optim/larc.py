@@ -1,0 +1,49 @@
+"""LARC — Layer-wise Adaptive Rate Control.
+
+The learning-rate *control* variant Kurth et al. use (Section IV-B.1): like
+LARS, but the layer-wise trust ratio acts as a *clip* on the effective
+learning rate rather than a rescaling — the local LR never exceeds the
+global one. Implemented as a wrapper around SGD-with-momentum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.optim.base import Optimizer, trust_ratio
+
+
+class LARC(Optimizer):
+    """LARC (clipping mode) over SGD + momentum."""
+
+    def __init__(
+        self,
+        lr: float,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        eta: float = 0.002,
+    ):
+        super().__init__(lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError("momentum must be in [0, 1)")
+        if weight_decay < 0:
+            raise ConfigurationError("weight_decay must be non-negative")
+        if eta <= 0:
+            raise ConfigurationError("trust coefficient eta must be positive")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.eta = eta
+        self._velocity: list[np.ndarray] | None = None
+
+    def _update(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p) for p in params]
+        for p, g, v in zip(params, grads, self._velocity):
+            step = g + self.weight_decay * p if self.weight_decay else g
+            # Clipping mode: effective lr = min(lr, eta * ||w||/||step||)
+            local = self.eta * trust_ratio(p, step)
+            effective_lr = min(self.lr, local)
+            v *= self.momentum
+            v += effective_lr * step
+            p -= v

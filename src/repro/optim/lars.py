@@ -1,0 +1,52 @@
+"""LARS — Layer-wise Adaptive Rate Scaling (You, Gitman & Ginsburg).
+
+Used by Laanait et al. (Section IV-B.3, combined LARS/Adam) and the enabling
+ingredient of every large-batch CNN result the paper surveys: each layer's
+step is rescaled by the trust ratio ||w|| / ||g + wd w||, decoupling the
+layer's effective step size from the global learning rate so a single large
+LR does not blow up shallow layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.optim.base import Optimizer, trust_ratio
+
+
+class LARS(Optimizer):
+    """LARS with momentum.
+
+    ``eta`` is the trust coefficient from the paper (0.001 in the original
+    publication; larger values are common for shorter schedules).
+    """
+
+    def __init__(
+        self,
+        lr: float,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        eta: float = 0.001,
+    ):
+        super().__init__(lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError("momentum must be in [0, 1)")
+        if weight_decay < 0:
+            raise ConfigurationError("weight_decay must be non-negative")
+        if eta <= 0:
+            raise ConfigurationError("trust coefficient eta must be positive")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.eta = eta
+        self._velocity: list[np.ndarray] | None = None
+
+    def _update(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p) for p in params]
+        for p, g, v in zip(params, grads, self._velocity):
+            step = g + self.weight_decay * p if self.weight_decay else g
+            local_lr = self.eta * trust_ratio(p, step)
+            v *= self.momentum
+            v += local_lr * step
+            p -= self.lr * v

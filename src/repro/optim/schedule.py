@@ -1,0 +1,79 @@
+"""Learning-rate schedules for large-batch training.
+
+The linear scaling rule (Goyal et al.) and gradual warmup are the standard
+companions of LARS/LAMB in every scale-out result the paper surveys.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LinearScalingRule:
+    """lr(B) = base_lr * B / base_batch, optionally capped.
+
+    >>> LinearScalingRule(base_lr=0.1, base_batch=256).lr_for_batch(8192)
+    3.2
+    """
+
+    base_lr: float
+    base_batch: int
+    max_lr: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.base_lr <= 0 or self.base_batch < 1:
+            raise ConfigurationError("base_lr and base_batch must be positive")
+        if self.max_lr is not None and self.max_lr < self.base_lr:
+            raise ConfigurationError("max_lr must be >= base_lr")
+
+    def lr_for_batch(self, batch: int) -> float:
+        if batch < 1:
+            raise ConfigurationError("batch must be >= 1")
+        lr = self.base_lr * batch / self.base_batch
+        return min(lr, self.max_lr) if self.max_lr is not None else lr
+
+
+@dataclass(frozen=True)
+class WarmupSchedule:
+    """Linear warmup to ``peak_lr`` over ``warmup_steps``, then a choice of
+    constant, cosine, or step decay down to ``final_lr`` at ``total_steps``."""
+
+    peak_lr: float
+    warmup_steps: int
+    total_steps: int
+    decay: str = "cosine"  # "cosine" | "constant" | "linear"
+    final_lr: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.peak_lr <= 0:
+            raise ConfigurationError("peak_lr must be positive")
+        if self.warmup_steps < 0 or self.total_steps < 1:
+            raise ConfigurationError("step counts must be non-negative/positive")
+        if self.warmup_steps >= self.total_steps:
+            raise ConfigurationError("warmup must end before total_steps")
+        if self.decay not in ("cosine", "constant", "linear"):
+            raise ConfigurationError(f"unknown decay {self.decay!r}")
+        if self.final_lr < 0 or self.final_lr > self.peak_lr:
+            raise ConfigurationError("final_lr must be in [0, peak_lr]")
+
+    def lr(self, step: int) -> float:
+        """Learning rate at 0-based ``step``."""
+        if step < 0:
+            raise ConfigurationError("step must be >= 0")
+        if self.warmup_steps and step < self.warmup_steps:
+            return self.peak_lr * (step + 1) / self.warmup_steps
+        progress = min(1.0, (step - self.warmup_steps) / max(
+            1, self.total_steps - self.warmup_steps
+        ))
+        if self.decay == "constant":
+            return self.peak_lr
+        if self.decay == "linear":
+            return self.peak_lr + (self.final_lr - self.peak_lr) * progress
+        # cosine
+        return self.final_lr + 0.5 * (self.peak_lr - self.final_lr) * (
+            1 + math.cos(math.pi * progress)
+        )

@@ -1,0 +1,40 @@
+"""Stochastic gradient descent with optional momentum and weight decay."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.optim.base import Optimizer
+
+
+class SGD(Optimizer):
+    """SGD: ``v = m v + g + wd w;  w -= lr v``.
+
+    >>> import numpy as np
+    >>> w = [np.array([1.0, 2.0])]
+    >>> SGD(lr=0.5).step(w, [np.array([1.0, 1.0])])
+    >>> w[0].tolist()
+    [0.5, 1.5]
+    """
+
+    def __init__(self, lr: float, momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ConfigurationError("weight_decay must be non-negative")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: list[np.ndarray] | None = None
+
+    def _update(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p) for p in params]
+        for p, g, v in zip(params, grads, self._velocity):
+            step = g if self.weight_decay == 0 else g + self.weight_decay * p
+            if self.momentum:
+                v *= self.momentum
+                v += step
+                step = v
+            p -= self.lr * step

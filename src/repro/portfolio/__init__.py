@@ -1,0 +1,35 @@
+"""The Summit AI/ML usage-survey substrate.
+
+Implements the paper's study methodology (Section II-C): the AI-motif
+taxonomy of Table I, the science domains of Table II, project records with
+adoption status and ML method, a portfolio generator calibrated to every
+statistic the paper states, and the analytics that regenerate Figures 1-6
+and Table III from records.
+"""
+
+from repro.portfolio.analytics import PortfolioAnalytics
+from repro.portfolio.generate import generate_portfolio, ipf_fit
+from repro.portfolio.project import Project
+from repro.portfolio.taxonomy import (
+    DOMAIN_SUBDOMAINS,
+    MOTIF_DEFINITIONS,
+    AdoptionStatus,
+    Domain,
+    MLMethod,
+    Motif,
+    Program,
+)
+
+__all__ = [
+    "AdoptionStatus",
+    "DOMAIN_SUBDOMAINS",
+    "Domain",
+    "MLMethod",
+    "MOTIF_DEFINITIONS",
+    "Motif",
+    "PortfolioAnalytics",
+    "Program",
+    "Project",
+    "generate_portfolio",
+    "ipf_fit",
+]

@@ -1,0 +1,140 @@
+"""Survey analytics: recompute every figure and table from project records.
+
+This is the real pipeline of Section III — aggregation by status, program,
+year, ML method, science domain and AI motif — operating on whatever records
+it is given (the calibrated synthetic portfolio, or any other corpus in the
+same schema). Counts can be weighted by project-years (the paper's default)
+or by allocation hours (the alternative basis Section II-C discusses).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from collections.abc import Iterable
+
+from repro.errors import ConfigurationError
+from repro.portfolio.project import Project
+from repro.portfolio.taxonomy import (
+    AdoptionStatus,
+    Domain,
+    MLMethod,
+    Motif,
+    Program,
+)
+
+
+class PortfolioAnalytics:
+    """Aggregations over a list of :class:`Project` records."""
+
+    def __init__(self, projects: list[Project]):
+        if not projects:
+            raise ConfigurationError("no projects to analyse")
+        self.projects = list(projects)
+
+    def _weight(self, project: Project, by_hours: bool) -> float:
+        return project.allocation_hours if by_hours else 1.0
+
+    def _total(self, projects: Iterable[Project], by_hours: bool) -> float:
+        return sum(self._weight(p, by_hours) for p in projects)
+
+    # -- Figure 1 ------------------------------------------------------------------
+
+    def overall_usage(self, by_hours: bool = False) -> dict[AdoptionStatus, float]:
+        """Fraction of projects (or hours) per adoption status."""
+        total = self._total(self.projects, by_hours)
+        out = {status: 0.0 for status in AdoptionStatus}
+        for p in self.projects:
+            out[p.status] += self._weight(p, by_hours)
+        return {status: value / total for status, value in out.items()}
+
+    # -- Figure 2 ------------------------------------------------------------------
+
+    def usage_by_program_year(
+        self,
+    ) -> dict[tuple[Program, int], dict[AdoptionStatus, float]]:
+        """Adoption-status fractions per (program, year) cohort."""
+        groups: dict[tuple[Program, int], list[Project]] = defaultdict(list)
+        for p in self.projects:
+            groups[(p.program, p.year)].append(p)
+        result = {}
+        for key, members in sorted(groups.items(), key=lambda kv: (kv[0][0].value, kv[0][1])):
+            counts = Counter(p.status for p in members)
+            n = len(members)
+            result[key] = {s: counts.get(s, 0) / n for s in AdoptionStatus}
+        return result
+
+    # -- Figure 3 ------------------------------------------------------------------
+
+    def usage_by_method(self) -> dict[MLMethod, float]:
+        """ML-method fractions among AI (active + inactive) projects."""
+        ai = [p for p in self.projects if p.uses_ai]
+        if not ai:
+            raise ConfigurationError("no AI projects in the portfolio")
+        counts = Counter(p.method for p in ai)
+        return {m: counts.get(m, 0) / len(ai) for m in MLMethod}
+
+    # -- Figure 4 ------------------------------------------------------------------
+
+    def usage_by_domain(self) -> dict[Domain, dict[AdoptionStatus, int]]:
+        """Project counts per domain per adoption status."""
+        out: dict[Domain, dict[AdoptionStatus, int]] = {
+            d: {s: 0 for s in AdoptionStatus} for d in Domain
+        }
+        for p in self.projects:
+            out[p.domain][p.status] += 1
+        return out
+
+    def top_ai_domains(self, k: int = 3) -> list[Domain]:
+        """Domains ranked by active AI usage (Figure 4's headline)."""
+        table = self.usage_by_domain()
+        ranked = sorted(
+            Domain,
+            key=lambda d: table[d][AdoptionStatus.ACTIVE],
+            reverse=True,
+        )
+        return ranked[:k]
+
+    # -- Figures 5 and 6 (INCITE + ALCC + ECP cohort) -------------------------------
+
+    def _fig56_cohort(self, programs: tuple[Program, ...]) -> list[Project]:
+        cohort = [
+            p for p in self.projects if p.uses_ai and p.program in programs
+        ]
+        if not cohort:
+            raise ConfigurationError("empty motif cohort")
+        return cohort
+
+    def usage_by_motif(
+        self,
+        programs: tuple[Program, ...] = (Program.INCITE, Program.ALCC, Program.ECP),
+    ) -> dict[Motif, int]:
+        """AI-motif counts over the cohort (Figure 5)."""
+        cohort = self._fig56_cohort(programs)
+        counts = Counter(p.motif for p in cohort)
+        return {m: counts.get(m, 0) for m in Motif}
+
+    def motif_by_domain(
+        self,
+        programs: tuple[Program, ...] = (Program.INCITE, Program.ALCC, Program.ECP),
+    ) -> dict[Motif, dict[Domain, int]]:
+        """The motif x domain count matrix (Figure 6)."""
+        cohort = self._fig56_cohort(programs)
+        out: dict[Motif, dict[Domain, int]] = {
+            m: {d: 0 for d in Domain} for m in Motif
+        }
+        for p in cohort:
+            assert p.motif is not None  # guaranteed by Project validation
+            out[p.motif][p.domain] += 1
+        return out
+
+    def top_motifs(self, k: int = 5) -> list[Motif]:
+        counts = self.usage_by_motif()
+        return sorted(Motif, key=lambda m: counts[m], reverse=True)[:k]
+
+    def motif_concentration(self, k: int = 5) -> float:
+        """Fraction of cohort usage covered by the top ``k`` motifs
+        (the paper's "over 3/4" claim for k=5)."""
+        counts = self.usage_by_motif()
+        total = sum(counts.values())
+        top = sum(sorted(counts.values(), reverse=True)[:k])
+        return top / total

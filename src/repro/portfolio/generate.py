@@ -1,0 +1,344 @@
+"""Calibrated synthetic-portfolio generation.
+
+The OLCF proposal corpus is proprietary, so the survey *records* are
+synthesised; everything downstream of the records (classification,
+aggregation, figure generation) is the real pipeline. The generator solves
+a small allocation problem: produce one :class:`~repro.portfolio.project.Project`
+per project-year such that
+
+- every (program, year) cohort has exactly the reference (total, active,
+  inactive) counts;
+- domain totals and per-domain AI totals match the reference tables;
+- the INCITE/ALCC/ECP AI cohort reproduces the Figure 6 motif x domain
+  matrix *exactly*;
+- ML methods follow the Figure 3 shares.
+
+Two-way consistency (program-year margins x domain margins) is obtained by
+iterative proportional fitting (:func:`ipf_fit`) followed by a
+margin-preserving integer rounding (:func:`integerize`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.portfolio import reference as ref
+from repro.portfolio.project import Project
+from repro.portfolio.taxonomy import (
+    DOMAIN_SUBDOMAINS,
+    AdoptionStatus,
+    Domain,
+    MLMethod,
+    Motif,
+    Program,
+)
+
+_DOMAINS = tuple(Domain)
+
+
+def ipf_fit(
+    seed_matrix: np.ndarray,
+    row_totals: np.ndarray,
+    col_totals: np.ndarray,
+    max_iter: int = 200,
+    tol: float = 1e-10,
+) -> np.ndarray:
+    """Iterative proportional fitting: scale ``seed_matrix`` to match both
+    margins. Zero cells stay zero (structural zeros encode narrative
+    constraints). Raises if the margins are inconsistent or unreachable.
+    """
+    seed_matrix = np.asarray(seed_matrix, dtype=float)
+    row_totals = np.asarray(row_totals, dtype=float)
+    col_totals = np.asarray(col_totals, dtype=float)
+    if seed_matrix.shape != (row_totals.size, col_totals.size):
+        raise ConfigurationError("seed matrix shape does not match margins")
+    if (seed_matrix < 0).any():
+        raise ConfigurationError("seed matrix must be non-negative")
+    if not np.isclose(row_totals.sum(), col_totals.sum()):
+        raise ConfigurationError(
+            f"margin sums differ: {row_totals.sum()} vs {col_totals.sum()}"
+        )
+    m = seed_matrix.copy()
+    for _ in range(max_iter):
+        row_sums = m.sum(axis=1)
+        scale = np.divide(row_totals, row_sums, out=np.zeros_like(row_totals),
+                          where=row_sums > 0)
+        if ((row_sums == 0) & (row_totals > 0)).any():
+            raise ConvergenceError("a required row has an all-zero seed")
+        m *= scale[:, None]
+        col_sums = m.sum(axis=0)
+        scale = np.divide(col_totals, col_sums, out=np.zeros_like(col_totals),
+                          where=col_sums > 0)
+        if ((col_sums == 0) & (col_totals > 0)).any():
+            raise ConvergenceError("a required column has an all-zero seed")
+        m *= scale[None, :]
+        if (
+            np.abs(m.sum(axis=1) - row_totals).max() < tol
+            and np.abs(m.sum(axis=0) - col_totals).max() < tol
+        ):
+            return m
+    raise ConvergenceError("IPF did not converge; margins may be infeasible")
+
+
+def integerize(matrix: np.ndarray) -> np.ndarray:
+    """Round a non-negative matrix with integer margins to an integer matrix
+    with the *same* margins (transportation-polytope rounding).
+
+    Row by row, cells receive their floor; each row's deficit goes to the
+    cells with the largest fractional parts, capped by the remaining column
+    capacity. The final row absorbs whatever column capacity remains.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    row_totals = np.rint(matrix.sum(axis=1)).astype(int)
+    col_totals = np.rint(matrix.sum(axis=0)).astype(int)
+    if not np.isclose(matrix.sum(axis=1), row_totals).all():
+        raise ConfigurationError("row sums must already be integral")
+    if not np.isclose(matrix.sum(axis=0), col_totals).all():
+        raise ConfigurationError("column sums must already be integral")
+    n_rows, n_cols = matrix.shape
+    out = np.zeros((n_rows, n_cols), dtype=int)
+    col_remaining = col_totals.copy()
+    for i in range(n_rows):
+        if i == n_rows - 1:
+            out[i] = col_remaining
+            break
+        row = matrix[i]
+        base = np.minimum(np.floor(row).astype(int), col_remaining)
+        deficit = row_totals[i] - base.sum()
+        frac = row - np.floor(row)
+        order = np.argsort(-frac, kind="stable")
+        for j in order:
+            if deficit == 0:
+                break
+            if col_remaining[j] - base[j] > 0:
+                base[j] += 1
+                deficit -= 1
+        if deficit != 0:
+            # fall back: take from any column with remaining capacity
+            for j in range(n_cols):
+                while deficit > 0 and col_remaining[j] - base[j] > 0:
+                    base[j] += 1
+                    deficit -= 1
+        if deficit != 0:
+            raise ConvergenceError("integerization failed: infeasible margins")
+        out[i] = base
+        col_remaining -= base
+    if (out[-1] < 0).any():
+        raise ConvergenceError("integerization failed: negative final row")
+    return out
+
+
+def _allocate(
+    row_totals: list[int], col_totals: list[int], seed: np.ndarray | None = None
+) -> np.ndarray:
+    """IPF + integerize with a uniform (or provided) seed."""
+    rows = np.asarray(row_totals, dtype=float)
+    cols = np.asarray(col_totals, dtype=float)
+    if seed is None:
+        seed = np.ones((rows.size, cols.size))
+    fitted = ipf_fit(seed, rows, cols)
+    return integerize(fitted)
+
+
+def capped_allocate(
+    row_totals: list[int], col_totals: list[int], caps: np.ndarray
+) -> np.ndarray:
+    """Integer allocation matching both margins with per-cell capacities.
+
+    This is a transportation-feasibility problem, solved exactly as a
+    max-flow: source -> rows (row totals), rows -> columns (cell caps),
+    columns -> sink (column totals). Used to place the `inactive` projects
+    inside the combined AI allocation so both the per-program-year and the
+    per-domain inactive counts hold simultaneously.
+    """
+    import networkx as nx
+
+    rows = np.asarray(row_totals, dtype=int)
+    cols = np.asarray(col_totals, dtype=int)
+    caps = np.asarray(caps, dtype=int)
+    if rows.sum() != cols.sum():
+        raise ConfigurationError("margin sums differ")
+    if caps.shape != (rows.size, cols.size):
+        raise ConfigurationError("caps shape mismatch")
+
+    g = nx.DiGraph()
+    for i, r in enumerate(rows):
+        if r:
+            g.add_edge("src", ("row", i), capacity=int(r))
+    for j, c in enumerate(cols):
+        if c:
+            g.add_edge(("col", j), "sink", capacity=int(c))
+    for i in range(rows.size):
+        for j in range(cols.size):
+            if caps[i, j] and rows[i] and cols[j]:
+                g.add_edge(("row", i), ("col", j), capacity=int(caps[i, j]))
+
+    total = int(rows.sum())
+    if total == 0:
+        return np.zeros_like(caps)
+    flow_value, flow = nx.maximum_flow(g, "src", "sink")
+    if flow_value != total:
+        raise ConvergenceError(
+            f"capped allocation infeasible: flow {flow_value} < demand {total}"
+        )
+    out = np.zeros_like(caps)
+    for i in range(rows.size):
+        for (kind, j), value in flow.get(("row", i), {}).items():
+            if kind == "col":
+                out[i, j] = value
+    return out
+
+
+def generate_portfolio(seed: int = 2022) -> list[Project]:
+    """Build the full 645-record study portfolio (Gordon Bell projects are
+    tracked separately in :mod:`repro.apps.registry`)."""
+    rng = np.random.default_rng(seed)
+    program_years = sorted(ref.PROGRAM_YEAR_TABLE, key=lambda k: (k[0].value, k[1]))
+
+    cohort_a = [
+        key for key in program_years if key[0] in ref.FIG56_PROGRAMS
+    ]
+    cohort_b = [key for key in program_years if key[0] not in ref.FIG56_PROGRAMS]
+
+    # -- AI project domain allocation -------------------------------------------
+    ai_counts_a = [
+        ref.PROGRAM_YEAR_TABLE[k][1] + ref.PROGRAM_YEAR_TABLE[k][2] for k in cohort_a
+    ]
+    fig6_cols = [ref.FIG6_DOMAIN_TOTALS[d] for d in _DOMAINS]
+    alloc_ai_a = _allocate(ai_counts_a, fig6_cols)
+
+    ai_counts_b = [
+        ref.PROGRAM_YEAR_TABLE[k][1] + ref.PROGRAM_YEAR_TABLE[k][2] for k in cohort_b
+    ]
+    residual_ai = [
+        ref.DOMAIN_TABLE[d][1] + ref.DOMAIN_TABLE[d][2] - ref.FIG6_DOMAIN_TOTALS[d]
+        for d in _DOMAINS
+    ]
+    alloc_ai_b = _allocate(ai_counts_b, residual_ai)
+
+    # -- non-AI project domain allocation ------------------------------------------
+    none_counts = [
+        ref.PROGRAM_YEAR_TABLE[k][0]
+        - ref.PROGRAM_YEAR_TABLE[k][1]
+        - ref.PROGRAM_YEAR_TABLE[k][2]
+        for k in program_years
+    ]
+    none_domains = [
+        ref.DOMAIN_TABLE[d][0] - ref.DOMAIN_TABLE[d][1] - ref.DOMAIN_TABLE[d][2]
+        for d in _DOMAINS
+    ]
+    alloc_none = _allocate(none_counts, none_domains)
+
+    # -- motif queues per domain (cohort A matches Figure 6 exactly) ---------------
+    motif_queue_a: dict[Domain, list[Motif]] = {}
+    for j, domain in enumerate(_DOMAINS):
+        queue: list[Motif] = []
+        for motif, row in ref.MOTIF_DOMAIN_MATRIX.items():
+            queue.extend([motif] * row[domain])
+        motif_queue_a[domain] = queue
+
+    def motif_for_b(domain: Domain, k: int) -> Motif:
+        """Cohort-B motifs follow the same per-domain distribution."""
+        weights = np.array(
+            [ref.MOTIF_DOMAIN_MATRIX[m][domain] for m in ref.MOTIF_COUNTS], dtype=float
+        )
+        if weights.sum() == 0:
+            return Motif.UNDETERMINED
+        motifs = list(ref.MOTIF_COUNTS)
+        return motifs[int(rng.choice(len(motifs), p=weights / weights.sum()))]
+
+    # -- method cycle (Figure 3 shares, deterministic interleave) --------------------
+    total_ai = sum(ai_counts_a) + sum(ai_counts_b)
+    method_pool: list[MLMethod] = []
+    for method, share in ref.METHOD_SHARES.items():
+        method_pool.extend([method] * round(total_ai * share))
+    while len(method_pool) < total_ai:
+        method_pool.append(MLMethod.DEEP_LEARNING)
+    rng.shuffle(method_pool)
+    method_iter = iter(method_pool)
+
+    # -- allocation hours: capability programs get bigger grants ----------------------
+    hour_scale = {
+        Program.INCITE: 600_000.0,
+        Program.ALCC: 400_000.0,
+        Program.DD: 50_000.0,
+        Program.COVID: 80_000.0,
+        Program.ECP: 150_000.0,
+    }
+
+    projects: list[Project] = []
+    counter = 0
+    sub_cursor: dict[Domain, int] = {d: 0 for d in _DOMAINS}
+
+    def next_subdomain(domain: Domain) -> str:
+        subs = DOMAIN_SUBDOMAINS[domain]
+        value = subs[sub_cursor[domain] % len(subs)]
+        sub_cursor[domain] += 1
+        return value
+
+    def emit(
+        key: tuple[Program, int],
+        domain: Domain,
+        status: AdoptionStatus,
+        motif: Motif | None,
+    ) -> None:
+        nonlocal counter
+        program, year = key
+        counter += 1
+        method = next(method_iter) if status is not AdoptionStatus.NONE else None
+        projects.append(
+            Project(
+                project_id=f"{program.value.lower().replace(' ', '')}-{year}-{counter:04d}",
+                program=program,
+                year=year,
+                domain=domain,
+                subdomain=next_subdomain(domain),
+                status=status,
+                motif=motif,
+                method=method,
+                allocation_hours=float(
+                    hour_scale[program] * rng.lognormal(mean=0.0, sigma=0.6)
+                ),
+            )
+        )
+
+    # -- place inactive projects inside the combined AI allocation so that BOTH
+    #    the per-program-year and the per-domain inactive counts hold -----------------
+    combined_alloc = np.zeros((len(program_years), len(_DOMAINS)), dtype=int)
+    for i, key in enumerate(program_years):
+        if key in cohort_a:
+            combined_alloc[i] = alloc_ai_a[cohort_a.index(key)]
+        else:
+            combined_alloc[i] = alloc_ai_b[cohort_b.index(key)]
+    inactive_rows = [ref.PROGRAM_YEAR_TABLE[k][2] for k in program_years]
+    inactive_cols = [ref.DOMAIN_TABLE[d][2] for d in _DOMAINS]
+    inactive_alloc = capped_allocate(inactive_rows, inactive_cols, combined_alloc)
+
+    # -- emit AI projects ----------------------------------------------------------
+    for i, key in enumerate(program_years):
+        is_a = key in cohort_a
+        for j, domain in enumerate(_DOMAINS):
+            n_inactive = inactive_alloc[i, j]
+            for k in range(combined_alloc[i, j]):
+                status = (
+                    AdoptionStatus.INACTIVE
+                    if k < n_inactive
+                    else AdoptionStatus.ACTIVE
+                )
+                if is_a:
+                    motif = motif_queue_a[domain].pop()
+                else:
+                    motif = motif_for_b(domain, k)
+                emit(key, domain, status, motif)
+
+    # -- emit non-AI projects -----------------------------------------------------------
+    for i, key in enumerate(program_years):
+        for j, domain in enumerate(_DOMAINS):
+            for _ in range(alloc_none[i, j]):
+                emit(key, domain, AdoptionStatus.NONE, None)
+
+    leftovers = [d for d, q in motif_queue_a.items() if q]
+    if leftovers:
+        raise ConvergenceError(f"motif queues not drained for {leftovers}")
+    return projects

@@ -1,0 +1,61 @@
+"""Project records — one per project-year, the survey's unit of analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.portfolio.taxonomy import (
+    DOMAIN_SUBDOMAINS,
+    AdoptionStatus,
+    Domain,
+    MLMethod,
+    Motif,
+    Program,
+)
+
+
+@dataclass(frozen=True)
+class Project:
+    """One project-year.
+
+    ``motif`` and ``method`` are ``None`` for projects with no AI/ML use
+    (``status == NONE``); AI projects always carry a motif (possibly
+    ``UNDETERMINED``). ``allocation_hours`` is the granted Summit node-hours
+    (Section II-C's alternative weighting basis).
+    """
+
+    project_id: str
+    program: Program
+    year: int
+    domain: Domain
+    subdomain: str
+    status: AdoptionStatus
+    motif: Motif | None
+    method: MLMethod | None
+    allocation_hours: float
+
+    def __post_init__(self) -> None:
+        if not 2018 <= self.year <= 2022:
+            raise ConfigurationError(f"{self.project_id}: year {self.year} out of study range")
+        if self.subdomain not in DOMAIN_SUBDOMAINS[self.domain]:
+            raise ConfigurationError(
+                f"{self.project_id}: subdomain {self.subdomain!r} not in "
+                f"{self.domain.value}"
+            )
+        if self.allocation_hours < 0:
+            raise ConfigurationError(f"{self.project_id}: negative allocation")
+        uses_ai = self.status is not AdoptionStatus.NONE
+        if uses_ai and self.motif is None:
+            raise ConfigurationError(
+                f"{self.project_id}: AI project must have a motif"
+            )
+        if not uses_ai and (self.motif is not None or self.method is not None):
+            raise ConfigurationError(
+                f"{self.project_id}: non-AI project cannot carry motif/method"
+            )
+
+    @property
+    def uses_ai(self) -> bool:
+        """Active or inactive AI/ML involvement."""
+        return self.status is not AdoptionStatus.NONE

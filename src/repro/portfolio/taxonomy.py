@@ -1,0 +1,199 @@
+"""The survey taxonomies: Tables I and II plus supporting enumerations."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TaxonomyError
+
+
+class Motif(enum.Enum):
+    """Science-application AI motifs (Table I).
+
+    ``MD_POTENTIAL`` is called out in Table I as a special case of
+    ``SUBMODEL`` but is tracked separately, as Figures 5-6 do.
+    """
+
+    FAULT_DETECTION = "fault detection"
+    MATH_CS_ALGORITHM = "math/cs algorithm"
+    SUBMODEL = "submodel"
+    MD_POTENTIAL = "md potential"
+    STEERING = "steering"
+    SURROGATE_MODEL = "surrogate model"
+    ANALYSIS = "analysis"
+    ML_MODSIM_LOOP = "ml + modsim loop"
+    CLASSIFICATION = "classification"
+    VARIOUS = "various"
+    UNDETERMINED = "undetermined"
+
+
+@dataclass(frozen=True)
+class MotifDefinition:
+    """One row of Table I."""
+
+    motif: Motif
+    definition: str
+    example: str
+
+
+#: Table I, verbatim condensations of the paper's definitions and examples.
+MOTIF_DEFINITIONS: dict[Motif, MotifDefinition] = {
+    d.motif: d
+    for d in (
+        MotifDefinition(
+            Motif.FAULT_DETECTION,
+            "detect algorithmic or other failure in execution, send signal "
+            "for automatic or manual remediation",
+            "detect simulation defect caused by execution error",
+        ),
+        MotifDefinition(
+            Motif.MATH_CS_ALGORITHM,
+            "ML is used to enhance some mathematical (non-science-proper) "
+            "computation",
+            "solver's linear system dimension is reduced based on "
+            "machine-learned parameter",
+        ),
+        MotifDefinition(
+            Motif.SUBMODEL,
+            "a (proper) subset of a science computation is replaced by an "
+            "ML model",
+            "physics-based radiation model in a climate code replaced by "
+            "ML model",
+        ),
+        MotifDefinition(
+            Motif.MD_POTENTIAL,
+            "molecular dynamics potentials trained by ML (special case of "
+            "submodel)",
+            "machine-learned SNAP/DeePMD interatomic potentials",
+        ),
+        MotifDefinition(
+            Motif.STEERING,
+            "automatic steering of the direction of a computation for some "
+            "internal process",
+            "ML method to guide Monte Carlo sampling to include "
+            "undersampled regions",
+        ),
+        MotifDefinition(
+            Motif.SURROGATE_MODEL,
+            "full science model replaced by ML approximation that captures "
+            "important aspects, used for speed or science understanding",
+            "data from tokamak simulation runs used to train surrogate model",
+        ),
+        MotifDefinition(
+            Motif.ANALYSIS,
+            "results from modeling and simulation runs are analyzed by a "
+            "human using ML methods",
+            "use graph neural networks to analyze results of MD simulation",
+        ),
+        MotifDefinition(
+            Motif.ML_MODSIM_LOOP,
+            "both ML and traditional modsim, coupled",
+            "MD in loop used to refine deep learning model via active "
+            "learning",
+        ),
+        MotifDefinition(
+            Motif.CLASSIFICATION,
+            "pure ML with little or no modsim used to classify some "
+            "phenomenon; includes some other methods like reinforcement "
+            "learning",
+            "deep neural network inference to detect rare astrophysical "
+            "event",
+        ),
+        MotifDefinition(
+            Motif.VARIOUS,
+            "umbrella project with multiple unrelated subprojects using "
+            "possibly different kinds of AI/ML",
+            "CAAR/ESP/NESAP application readiness",
+        ),
+        MotifDefinition(
+            Motif.UNDETERMINED,
+            "manner of AI/ML use is undetermined",
+            "project is exploring AI/ML use but gives no details",
+        ),
+    )
+}
+
+
+class Domain(enum.Enum):
+    """Science domains (Table II)."""
+
+    BIOLOGY = "Biology"
+    CHEMISTRY = "Chemistry"
+    COMPUTER_SCIENCE = "Computer Science"
+    EARTH_SCIENCE = "Earth Science"
+    ENGINEERING = "Engineering"
+    FUSION_PLASMA = "Fusion and Plasma"
+    MATERIALS = "Materials"
+    NUCLEAR_ENERGY = "Nuclear Energy"
+    PHYSICS = "Physics"
+
+
+#: Table II: the 48 science subdomains grouped into nine domains.
+DOMAIN_SUBDOMAINS: dict[Domain, tuple[str, ...]] = {
+    Domain.BIOLOGY: (
+        "Bioinformatics", "Biophysics", "Life Sciences", "Medical Science",
+        "Neuroscience", "Proteomics", "Systems Biology",
+    ),
+    Domain.CHEMISTRY: ("Chemistry", "Physical Chemistry"),
+    Domain.COMPUTER_SCIENCE: ("Computer Science", "Machine Learning"),
+    Domain.EARTH_SCIENCE: (
+        "Atmospheric Science", "Climate", "Geosciences",
+        "Geographic Information Systems",
+    ),
+    Domain.ENGINEERING: (
+        "Aerodynamics", "Bioenergy", "Combustion", "Engineering",
+        "Fluid Dynamics", "Turbulence",
+    ),
+    Domain.FUSION_PLASMA: ("Fusion Energy", "Plasma Physics"),
+    Domain.MATERIALS: (
+        "Materials Science", "Nanoelectronics", "Nanomechanics",
+        "Nanophotonics", "Nanoscience",
+    ),
+    Domain.NUCLEAR_ENERGY: ("Nuclear Fission", "Nuclear Fuel Cycle"),
+    Domain.PHYSICS: (
+        "Accelerator Physics", "Astrophysics", "Cosmology",
+        "Atomic/Molecular Physics", "Condensed Matter Physics",
+        "High Energy Physics", "Lattice Gauge Theory", "Nuclear Physics",
+        "Physics", "Solar/Space Physics",
+    ),
+}
+
+
+class Program(enum.Enum):
+    """Allocation programs and cohorts studied (Sections II-B, II-C)."""
+
+    INCITE = "INCITE"
+    ALCC = "ALCC"
+    DD = "DD"
+    COVID = "COVID"  # COVID-19 HPC Consortium projects not overlapping DD
+    ECP = "ECP"
+    GORDON_BELL = "Gordon Bell"
+
+
+class AdoptionStatus(enum.Enum):
+    """AI/ML usage status (Section II-C)."""
+
+    ACTIVE = "active"
+    INACTIVE = "inactive"  # past / planned / exploratory / companion use
+    NONE = "none"
+
+
+class MLMethod(enum.Enum):
+    """ML method classes of Figure 3."""
+
+    DEEP_LEARNING = "DL/NN"
+    OTHER = "other"  # SVM, forests, PCA, regressions, boosted trees, ...
+    UNDETERMINED = "undetermined"
+
+
+def subdomain_domain(subdomain: str) -> Domain:
+    """Map a 3-letter-code-style subdomain name back to its domain.
+
+    >>> subdomain_domain("Climate").value
+    'Earth Science'
+    """
+    for domain, subs in DOMAIN_SUBDOMAINS.items():
+        if subdomain in subs:
+            return domain
+    raise TaxonomyError(f"unknown subdomain {subdomain!r}")

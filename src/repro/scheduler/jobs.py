@@ -1,0 +1,105 @@
+"""Job records and synthetic campaign generation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.portfolio.project import Project
+
+
+@dataclass(frozen=True)
+class Job:
+    """One batch job.
+
+    ``uses_ai`` tags the job for the delivered-hours accounting; ``project``
+    optionally links back to the portfolio record it was generated from.
+    """
+
+    job_id: str
+    nodes: int
+    duration: float  # seconds of execution once started
+    submit_time: float
+    uses_ai: bool = False
+    project: Project | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ConfigurationError(f"{self.job_id}: nodes must be >= 1")
+        if self.duration <= 0:
+            raise ConfigurationError(f"{self.job_id}: duration must be positive")
+        if self.submit_time < 0:
+            raise ConfigurationError(f"{self.job_id}: negative submit time")
+
+    @property
+    def node_seconds(self) -> float:
+        return self.nodes * self.duration
+
+
+#: Summit's batch-queue size/walltime structure ("bins"): wider jobs get
+#: longer walltime limits — the capability-computing policy of Section II-B.
+SUMMIT_QUEUE_BINS = (
+    # (min_nodes, max_walltime_hours)
+    (2765, 24.0),  # bin 1: >= 60 % of the machine
+    (922, 24.0),
+    (92, 12.0),
+    (46, 6.0),
+    (1, 2.0),
+)
+
+
+def walltime_limit(nodes: int) -> float:
+    """Walltime limit in seconds for a job of ``nodes`` nodes."""
+    if nodes < 1:
+        raise ConfigurationError("nodes must be >= 1")
+    for min_nodes, hours in SUMMIT_QUEUE_BINS:
+        if nodes >= min_nodes:
+            return hours * 3600.0
+    raise AssertionError("unreachable: last bin matches all sizes")
+
+
+def campaign_from_portfolio(
+    projects: list[Project],
+    jobs_per_project: int = 3,
+    machine_nodes: int = 4608,
+    horizon: float = 7 * 24 * 3600.0,
+    seed: int = 0,
+) -> list[Job]:
+    """Generate a synthetic job stream from portfolio records.
+
+    Job sizes follow a log-uniform distribution from 1 node to a per-project
+    cap that scales with the project's allocation (bigger awards run wider,
+    the INCITE capability expectation); durations are log-normal within the
+    size bin's walltime limit; submissions are uniform over the horizon.
+    """
+    if not projects:
+        raise ConfigurationError("no projects")
+    if jobs_per_project < 1:
+        raise ConfigurationError("jobs_per_project must be >= 1")
+    rng = np.random.default_rng(seed)
+    max_alloc = max(p.allocation_hours for p in projects)
+    jobs: list[Job] = []
+    for p_idx, project in enumerate(projects):
+        # cap grows with allocation share: DD projects run small, INCITE wide
+        cap = max(1, int(machine_nodes * (project.allocation_hours / max_alloc)))
+        for j in range(jobs_per_project):
+            log_nodes = rng.uniform(0, np.log(max(2, cap)))
+            nodes = max(1, int(np.exp(log_nodes)))
+            limit = walltime_limit(nodes)
+            duration = float(
+                np.clip(limit * rng.lognormal(mean=-1.2, sigma=0.6), 300.0, limit)
+            )
+            jobs.append(
+                Job(
+                    job_id=f"{project.project_id}-j{j}",
+                    nodes=nodes,
+                    duration=duration,
+                    submit_time=float(rng.uniform(0, horizon)),
+                    uses_ai=project.uses_ai,
+                    project=project,
+                )
+            )
+    jobs.sort(key=lambda job: job.submit_time)
+    return jobs

@@ -1,0 +1,153 @@
+"""Event-driven batch-scheduler simulation.
+
+A simple but faithful space-sharing model: the machine is a pool of
+``n_nodes``; at every scheduling point (job arrival or completion) the
+queue is reordered by the policy and jobs are started in order, with
+conservative backfill (a job may jump ahead only if it fits in the
+currently idle nodes AND would finish before the queue head could start).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.scheduler.jobs import Job
+from repro.scheduler.policy import Policy, priority_key
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Aggregate outcome of a scheduling run."""
+
+    makespan: float
+    utilization: float  # busy node-seconds / (nodes * makespan)
+    mean_wait: float
+    max_wait: float
+    mean_wait_wide: float  # jobs using >= 20 % of the machine
+    delivered_node_hours: float
+    ai_node_hours: float
+    start_times: dict[str, float]
+    end_times: dict[str, float]
+
+    @property
+    def ai_share(self) -> float:
+        """AI/ML share of delivered node-hours — the 'actual hours used'
+        metric Section II-C contrasts with allocation counting."""
+        if self.delivered_node_hours == 0:
+            return 0.0
+        return self.ai_node_hours / self.delivered_node_hours
+
+
+class Scheduler:
+    """Space-sharing scheduler over a homogeneous node pool."""
+
+    def __init__(self, n_nodes: int, policy: Policy = Policy.CAPABILITY):
+        if n_nodes < 1:
+            raise ConfigurationError("n_nodes must be >= 1")
+        self.n_nodes = n_nodes
+        self.policy = policy
+
+    def run(self, jobs: list[Job]) -> ScheduleResult:
+        if not jobs:
+            raise ConfigurationError("no jobs to schedule")
+        for job in jobs:
+            if job.nodes > self.n_nodes:
+                raise ConfigurationError(
+                    f"{job.job_id} needs {job.nodes} nodes, machine has "
+                    f"{self.n_nodes}"
+                )
+
+        pending = sorted(jobs, key=lambda j: j.submit_time)
+        queue: list[Job] = []
+        running: list[tuple[float, int, Job]] = []  # (end_time, seq, job)
+        seq = 0
+        idle = self.n_nodes
+        now = 0.0
+        starts: dict[str, float] = {}
+        ends: dict[str, float] = {}
+
+        def try_start() -> None:
+            nonlocal idle, seq
+            queue.sort(key=lambda j: priority_key(self.policy, j, now))
+            started = True
+            while started:
+                started = False
+                if not queue:
+                    return
+                head = queue[0]
+                if head.nodes <= idle:
+                    queue.pop(0)
+                    self._start(head, now, starts)
+                    heapq.heappush(running, (now + head.duration, seq, head))
+                    seq += 1
+                    idle -= head.nodes
+                    started = True
+                    continue
+                # conservative backfill: when could the head start?
+                needed = head.nodes - idle
+                freed = 0
+                head_start = now
+                for end_time, _, job in sorted(running):
+                    freed += job.nodes
+                    head_start = end_time
+                    if freed >= needed:
+                        break
+                for candidate in list(queue[1:]):
+                    if (
+                        candidate.nodes <= idle
+                        and now + candidate.duration <= head_start
+                    ):
+                        queue.remove(candidate)
+                        self._start(candidate, now, starts)
+                        heapq.heappush(
+                            running, (now + candidate.duration, seq, candidate)
+                        )
+                        seq += 1
+                        idle -= candidate.nodes
+                        started = True
+
+        while pending or queue or running:
+            # next event: job arrival or completion
+            next_arrival = pending[0].submit_time if pending else float("inf")
+            next_completion = running[0][0] if running else float("inf")
+            now = min(next_arrival, next_completion)
+            if now == float("inf"):
+                raise AssertionError("scheduler deadlock")
+            while pending and pending[0].submit_time <= now:
+                queue.append(pending.pop(0))
+            while running and running[0][0] <= now:
+                _, _, job = heapq.heappop(running)
+                ends[job.job_id] = now
+                idle += job.nodes
+            try_start()
+
+        makespan = max(ends.values())
+        busy = sum(j.node_seconds for j in jobs)
+        waits = [starts[j.job_id] - j.submit_time for j in jobs]
+        wide_waits = [
+            starts[j.job_id] - j.submit_time
+            for j in jobs
+            if j.nodes >= 0.2 * self.n_nodes
+        ]
+        ai_seconds = sum(j.node_seconds for j in jobs if j.uses_ai)
+        return ScheduleResult(
+            makespan=makespan,
+            utilization=busy / (self.n_nodes * makespan),
+            mean_wait=sum(waits) / len(waits),
+            max_wait=max(waits),
+            mean_wait_wide=(
+                sum(wide_waits) / len(wide_waits) if wide_waits else 0.0
+            ),
+            delivered_node_hours=busy / 3600.0,
+            ai_node_hours=ai_seconds / 3600.0,
+            start_times=starts,
+            end_times=ends,
+        )
+
+    @staticmethod
+    def _start(job: Job, now: float, starts: dict[str, float]) -> None:
+        if now < job.submit_time:
+            raise AssertionError("job started before submission")
+        starts[job.job_id] = now

@@ -1,0 +1,116 @@
+"""Coarse mass-spring continuum model — the FFEA stand-in.
+
+Trifan et al. (Section V-B) couple a mesoscale fluctuating finite-element
+simulation to all-atom MD. The mesoscale role — cheap dynamics of a coarse
+elastic body whose conformations feed an autoencoder — is played here by a
+damped mass-spring network with thermal noise: nodes on a grid, springs to
+neighbours, overdamped Langevin dynamics. Two orders of magnitude cheaper
+per frame than the MD engine, exactly the cost separation the workflow
+exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class MassSpringModel:
+    """An n_side x n_side grid of unit masses joined by harmonic springs.
+
+    Overdamped Langevin dynamics:
+        x' = -grad U / gamma + sqrt(2 T / gamma) xi(t)
+    """
+
+    def __init__(
+        self,
+        n_side: int = 6,
+        stiffness: float = 20.0,
+        rest_length: float = 1.0,
+        gamma: float = 1.0,
+        seed: int | None = None,
+    ):
+        if n_side < 2:
+            raise ConfigurationError("n_side must be >= 2")
+        if stiffness <= 0 or rest_length <= 0 or gamma <= 0:
+            raise ConfigurationError("physical parameters must be positive")
+        self.n_side = n_side
+        self.stiffness = stiffness
+        self.rest_length = rest_length
+        self.gamma = gamma
+        ii, jj = np.meshgrid(np.arange(n_side), np.arange(n_side), indexing="ij")
+        self.positions = rest_length * np.column_stack(
+            [ii.ravel(), jj.ravel()]
+        ).astype(float)
+        self._springs = self._build_springs()
+        self.rng = np.random.default_rng(seed)
+
+    def _build_springs(self) -> np.ndarray:
+        """(n_springs, 2) node-index pairs: horizontal + vertical neighbours."""
+        n = self.n_side
+        idx = np.arange(n * n).reshape(n, n)
+        pairs = []
+        pairs.append(np.column_stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()]))
+        pairs.append(np.column_stack([idx[:-1, :].ravel(), idx[1:, :].ravel()]))
+        return np.vstack(pairs)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.n_side**2
+
+    def forces(self) -> np.ndarray:
+        """Spring forces on every node (vectorised over springs)."""
+        a, b = self._springs[:, 0], self._springs[:, 1]
+        dr = self.positions[b] - self.positions[a]
+        length = np.linalg.norm(dr, axis=1, keepdims=True)
+        length = np.where(length > 1e-12, length, 1e-12)
+        f = self.stiffness * (length - self.rest_length) * dr / length
+        out = np.zeros_like(self.positions)
+        np.add.at(out, a, f)
+        np.add.at(out, b, -f)
+        return out
+
+    def energy(self) -> float:
+        a, b = self._springs[:, 0], self._springs[:, 1]
+        length = np.linalg.norm(self.positions[b] - self.positions[a], axis=1)
+        return 0.5 * self.stiffness * float(((length - self.rest_length) ** 2).sum())
+
+    def step(self, dt: float = 0.005, temperature: float = 0.1) -> None:
+        """One overdamped Langevin step."""
+        if dt <= 0 or temperature < 0:
+            raise ConfigurationError("dt must be positive, temperature >= 0")
+        drift = self.forces() / self.gamma
+        noise = np.sqrt(2.0 * temperature * dt / self.gamma) * self.rng.standard_normal(
+            self.positions.shape
+        )
+        self.positions += dt * drift + noise
+
+    def descriptor(self) -> np.ndarray:
+        """Permutation-stable conformation feature: spring lengths in
+        construction order (the analogue of the MD engine's sorted pair
+        distances, but cheaper)."""
+        a, b = self._springs[:, 0], self._springs[:, 1]
+        return np.linalg.norm(self.positions[b] - self.positions[a], axis=1)
+
+    def sample_trajectory(
+        self,
+        n_frames: int,
+        steps_per_frame: int = 20,
+        dt: float = 0.005,
+        temperature: float = 0.1,
+    ) -> np.ndarray:
+        """(n_frames, n_springs) descriptor trajectory."""
+        if n_frames < 1 or steps_per_frame < 1:
+            raise ConfigurationError("frame counts must be >= 1")
+        frames = np.empty((n_frames, self._springs.shape[0]))
+        for i in range(n_frames):
+            for _ in range(steps_per_frame):
+                self.step(dt=dt, temperature=temperature)
+            frames[i] = self.descriptor()
+        return frames
+
+    def apply_deformation(self, magnitude: float = 0.5) -> None:
+        """Pull one corner — creates the rare-conformation events the
+        coupling workflow must detect."""
+        self.positions[-1] += magnitude

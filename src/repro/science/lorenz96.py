@@ -1,0 +1,206 @@
+"""Two-scale Lorenz-96: the canonical ML-subgrid-closure testbed.
+
+Table I's example for the *submodel* motif is "physics-based radiation model
+in a climate code replaced by ML model", and the paper cites Rasp et al.
+(deep learning for subgrid processes in climate models) for both the promise
+and the failure modes. Lorenz-96 with two scales is the standard laptop-size
+stand-in used throughout that literature:
+
+    dX_k/dt = -X_{k-1}(X_{k-2} - X_{k+1}) - X_k + F - (h c / b) sum_j Y_{j,k}
+    dY_j/dt = -c b Y_{j+1}(Y_{j+2} - Y_{j-1}) - c Y_j + (h c / b) X_{k(j)}
+
+The slow variables X are the resolved "climate"; the fast Y are unresolved
+"convection" whose aggregate effect on X — the coupling term — is what a
+subgrid parameterisation must supply. The ML-closure workflow
+(:mod:`repro.workflows.case_submodel`) trains a network on coupled-run data
+and runs the reduced model with it, checking exactly the properties the
+paper's Section VI-A discusses: out-of-distribution behaviour, stability
+under iteration, and climate (long-run statistics) preservation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class L96Params:
+    """Standard two-scale Lorenz-96 parameters (Lorenz 1996 / Wilks 2005)."""
+
+    n_slow: int = 8
+    fast_per_slow: int = 8
+    forcing: float = 10.0
+    coupling: float = 1.0  # h
+    time_scale: float = 10.0  # c
+    amplitude: float = 10.0  # b
+
+    def __post_init__(self) -> None:
+        if self.n_slow < 4:
+            raise ConfigurationError("need at least 4 slow variables")
+        if self.fast_per_slow < 1:
+            raise ConfigurationError("need at least 1 fast variable per slow")
+        if self.time_scale <= 0 or self.amplitude <= 0:
+            raise ConfigurationError("time_scale and amplitude must be positive")
+
+
+class TwoScaleLorenz96:
+    """The coupled truth model, integrated with RK4."""
+
+    def __init__(self, params: L96Params | None = None, seed: int | None = 0):
+        self.params = params or L96Params()
+        rng = np.random.default_rng(seed)
+        p = self.params
+        self.x = p.forcing * (0.5 + rng.standard_normal(p.n_slow) * 0.1)
+        self.y = rng.standard_normal(p.n_slow * p.fast_per_slow) * 0.1
+
+    # -- tendencies -----------------------------------------------------------
+
+    def coupling_term(self) -> np.ndarray:
+        """The subgrid forcing on each X_k: -(h c / b) sum_j Y_{j,k}."""
+        p = self.params
+        y_sums = self.y.reshape(p.n_slow, p.fast_per_slow).sum(axis=1)
+        return -(p.coupling * p.time_scale / p.amplitude) * y_sums
+
+    def _dx(self, x: np.ndarray, coupling: np.ndarray) -> np.ndarray:
+        p = self.params
+        return (
+            -np.roll(x, 1) * (np.roll(x, 2) - np.roll(x, -1))
+            - x + p.forcing + coupling
+        )
+
+    def _dy(self, y: np.ndarray, x: np.ndarray) -> np.ndarray:
+        p = self.params
+        xk = np.repeat(x, p.fast_per_slow)
+        return (
+            -p.time_scale * p.amplitude
+            * np.roll(y, -1) * (np.roll(y, -2) - np.roll(y, 1))
+            - p.time_scale * y
+            + (p.coupling * p.time_scale / p.amplitude) * xk
+        )
+
+    def step(self, dt: float = 0.001) -> None:
+        """One RK4 step of the coupled system."""
+        if dt <= 0:
+            raise ConfigurationError("dt must be positive")
+        x0, y0 = self.x, self.y
+        p = self.params
+        scale = -(p.coupling * p.time_scale / p.amplitude)
+
+        def coupled(x, y):
+            c = scale * y.reshape(p.n_slow, p.fast_per_slow).sum(axis=1)
+            return self._dx(x, c), self._dy(y, x)
+
+        k1x, k1y = coupled(x0, y0)
+        k2x, k2y = coupled(x0 + 0.5 * dt * k1x, y0 + 0.5 * dt * k1y)
+        k3x, k3y = coupled(x0 + 0.5 * dt * k2x, y0 + 0.5 * dt * k2y)
+        k4x, k4y = coupled(x0 + dt * k3x, y0 + dt * k3y)
+        self.x = x0 + dt / 6 * (k1x + 2 * k2x + 2 * k3x + k4x)
+        self.y = y0 + dt / 6 * (k1y + 2 * k2y + 2 * k3y + k4y)
+
+    def run(self, n_steps: int, dt: float = 0.001) -> None:
+        for _ in range(n_steps):
+            self.step(dt)
+
+    def generate_training_data(
+        self, n_samples: int, dt: float = 0.001, stride: int = 5,
+        warmup_steps: int = 2000,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(X_k state windows, true coupling term) pairs from a coupled run.
+
+        Inputs are local stencils (X_{k-2..k+2}) so the learned closure is
+        translation-equivariant, like a column physics scheme.
+        """
+        if n_samples < 1:
+            raise ConfigurationError("n_samples must be >= 1")
+        self.run(warmup_steps, dt)
+        inputs, targets = [], []
+        while len(inputs) < n_samples:
+            self.run(stride, dt)
+            coupling = self.coupling_term()
+            x = self.x
+            stencil = np.stack([np.roll(x, s) for s in (2, 1, 0, -1, -2)], axis=1)
+            inputs.extend(stencil)
+            targets.extend(coupling)
+        inputs = np.array(inputs[:n_samples])
+        targets = np.array(targets[:n_samples]).reshape(-1, 1)
+        return inputs, targets
+
+
+class ReducedLorenz96:
+    """The slow-only model with a pluggable subgrid closure.
+
+    ``closure(x) -> coupling`` maps the slow state to the per-site subgrid
+    forcing; ``None`` runs the uncorrected truncation (the no-physics
+    baseline every parameterisation must beat).
+    """
+
+    def __init__(
+        self,
+        params: L96Params | None = None,
+        closure=None,
+        x0: np.ndarray | None = None,
+        conserve_mean: bool = False,
+    ):
+        self.params = params or L96Params()
+        self.closure = closure
+        self.conserve_mean = conserve_mean
+        if x0 is not None:
+            x0 = np.asarray(x0, dtype=float)
+            if x0.shape != (self.params.n_slow,):
+                raise ConfigurationError("x0 dimension mismatch")
+            self.x = x0.copy()
+        else:
+            # break the homogeneous symmetry (the uniform state is a fixed
+            # point of L96 and would otherwise just decay to X = F)
+            k = np.arange(self.params.n_slow)
+            self.x = self.params.forcing * 0.5 + np.sin(
+                2 * np.pi * k / self.params.n_slow
+            )
+
+    def _closure_term(self, x: np.ndarray) -> np.ndarray:
+        if self.closure is None:
+            return np.zeros_like(x)
+        stencil = np.stack([np.roll(x, s) for s in (2, 1, 0, -1, -2)], axis=1)
+        term = np.asarray(self.closure(stencil), dtype=float).reshape(-1)
+        if term.shape != x.shape:
+            raise ConfigurationError("closure returned wrong shape")
+        if self.conserve_mean:
+            # impose the domain-integral constraint by final correction
+            # (Section VI-A.3: constraints "imposed by a final correction")
+            term = term - term.mean() + self._reference_mean
+        return term
+
+    #: climatological mean of the true coupling term; set by calibrate().
+    _reference_mean: float = 0.0
+
+    def calibrate_conservation(self, reference_mean: float) -> None:
+        self._reference_mean = float(reference_mean)
+
+    def _dx(self, x: np.ndarray) -> np.ndarray:
+        p = self.params
+        return (
+            -np.roll(x, 1) * (np.roll(x, 2) - np.roll(x, -1))
+            - x + p.forcing + self._closure_term(x)
+        )
+
+    def step(self, dt: float = 0.001) -> None:
+        if dt <= 0:
+            raise ConfigurationError("dt must be positive")
+        x0 = self.x
+        k1 = self._dx(x0)
+        k2 = self._dx(x0 + 0.5 * dt * k1)
+        k3 = self._dx(x0 + 0.5 * dt * k2)
+        k4 = self._dx(x0 + dt * k3)
+        self.x = x0 + dt / 6 * (k1 + 2 * k2 + 2 * k3 + k4)
+
+    def run(self, n_steps: int, dt: float = 0.001) -> np.ndarray:
+        """Integrate and return the (n_steps, n_slow) trajectory."""
+        out = np.empty((n_steps, self.params.n_slow))
+        for i in range(n_steps):
+            self.step(dt)
+            out[i] = self.x
+        return out

@@ -1,0 +1,14 @@
+"""A small deterministic discrete-event simulation engine.
+
+Used by the workflow executor (:mod:`repro.workflows`) to model task timing
+across facilities, and by the scheduler studies. The engine is deliberately
+minimal: an event heap, generator-based processes, and capacity resources —
+enough to express job queues, staged pipelines and coupled simulation loops
+without pulling in an external simulation framework.
+"""
+
+from repro.sim.engine import Engine, Process, Timeout
+from repro.sim.resources import Resource
+from repro.sim.trace import Trace, TraceEvent
+
+__all__ = ["Engine", "Process", "Resource", "Timeout", "Trace", "TraceEvent"]

@@ -1,0 +1,134 @@
+"""Generator-based discrete-event engine.
+
+A *process* is a Python generator that yields effects:
+
+- ``Timeout(dt)`` — advance simulated time by ``dt`` seconds;
+- ``Process`` — wait for a child process to finish (its return value is sent
+  back into the parent);
+- ``Resource.acquire()`` request objects — wait for capacity.
+
+The engine is deterministic: simultaneous events fire in creation order.
+
+Example
+-------
+>>> eng = Engine()
+>>> def job(eng):
+...     yield Timeout(2.0)
+...     return "done"
+>>> p = eng.spawn(job(eng))
+>>> eng.run()
+>>> p.result
+'done'
+>>> eng.now
+2.0
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Generator
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """Effect: advance the yielding process by ``delay`` simulated seconds."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise SimulationError(f"negative timeout: {self.delay}")
+
+
+class Process:
+    """A running simulated process wrapping a generator."""
+
+    def __init__(self, engine: Engine, gen: Generator, name: str = ""):
+        self.engine = engine
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.finished = False
+        self.result: Any = None
+        self.started_at = engine.now
+        self.finished_at: float | None = None
+        self._waiters: list[Process] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "running"
+        return f"<Process {self.name} {state}>"
+
+
+class Engine:
+    """The event loop: a heap of (time, seq, process, value_to_send)."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Process, Any]] = []
+        self._seq = itertools.count()
+        self._active = 0
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Register a new process and schedule its first step at ``now``."""
+        proc = Process(self, gen, name)
+        self._active += 1
+        self._schedule(self.now, proc, None)
+        return proc
+
+    def _schedule(self, when: float, proc: Process, send_value: Any) -> None:
+        heapq.heappush(self._heap, (when, next(self._seq), proc, send_value))
+
+    def run(self, until: float | None = None) -> None:
+        """Run until no events remain, or simulated time would pass ``until``."""
+        while self._heap:
+            when, _, proc, send_value = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                return
+            heapq.heappop(self._heap)
+            if when < self.now:
+                raise SimulationError("event scheduled in the past")
+            self.now = when
+            self._step(proc, send_value)
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def _step(self, proc: Process, send_value: Any) -> None:
+        if proc.finished:
+            raise SimulationError(f"stepping finished process {proc.name}")
+        try:
+            effect = proc.gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(proc, stop.value)
+            return
+        self._dispatch(proc, effect)
+
+    def _dispatch(self, proc: Process, effect: Any) -> None:
+        if isinstance(effect, Timeout):
+            self._schedule(self.now + effect.delay, proc, None)
+        elif isinstance(effect, Process):
+            if effect.finished:
+                self._schedule(self.now, proc, effect.result)
+            else:
+                effect._waiters.append(proc)
+        elif hasattr(effect, "_bind_waiter"):  # resource requests
+            effect._bind_waiter(proc)
+        else:
+            raise SimulationError(f"process {proc.name} yielded {effect!r}")
+
+    def _finish(self, proc: Process, result: Any) -> None:
+        proc.finished = True
+        proc.result = result
+        proc.finished_at = self.now
+        self._active -= 1
+        for waiter in proc._waiters:
+            self._schedule(self.now, waiter, result)
+        proc._waiters.clear()
+
+    # Resources use this to resume a blocked process.
+    def _resume(self, proc: Process, value: Any) -> None:
+        self._schedule(self.now, proc, value)

@@ -1,0 +1,78 @@
+"""Capacity resources for the discrete-event engine.
+
+A :class:`Resource` models a pool with integer capacity — e.g. a machine's
+node count or a filesystem's concurrent-stager slots. Processes yield
+``resource.acquire(n)`` and later call ``resource.release(n)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine, Process
+
+
+class _AcquireRequest:
+    """Yielded by :meth:`Resource.acquire`; resolves when capacity is free."""
+
+    def __init__(self, resource: "Resource", amount: int):
+        self.resource = resource
+        self.amount = amount
+
+    def _bind_waiter(self, proc: Process) -> None:
+        self.resource._enqueue(self, proc)
+
+
+class Resource:
+    """A counted capacity pool tied to an :class:`Engine`.
+
+    Grants are FIFO: a large request at the head of the queue blocks later
+    smaller ones (no starvation of wide jobs — the same policy leadership
+    batch schedulers use for capability queues).
+    """
+
+    def __init__(self, engine: Engine, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError(f"{name}: capacity must be >= 1")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._queue: deque[tuple[_AcquireRequest, Process]] = deque()
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def acquire(self, amount: int = 1) -> _AcquireRequest:
+        """Build a request effect; yield it from a process to wait for grant."""
+        if amount < 1:
+            raise SimulationError(f"{self.name}: acquire amount must be >= 1")
+        if amount > self.capacity:
+            raise SimulationError(
+                f"{self.name}: request {amount} exceeds capacity {self.capacity}"
+            )
+        return _AcquireRequest(self, amount)
+
+    def release(self, amount: int = 1) -> None:
+        """Return ``amount`` units and wake queued requests that now fit."""
+        if amount < 1 or amount > self.in_use:
+            raise SimulationError(
+                f"{self.name}: release {amount} with {self.in_use} in use"
+            )
+        self.in_use -= amount
+        self._drain()
+
+    def _enqueue(self, request: _AcquireRequest, proc: Process) -> None:
+        self._queue.append((request, proc))
+        self._drain()
+
+    def _drain(self) -> None:
+        while self._queue:
+            request, proc = self._queue[0]
+            if request.amount > self.available:
+                return
+            self._queue.popleft()
+            self.in_use += request.amount
+            self.engine._resume(proc, request.amount)

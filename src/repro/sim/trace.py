@@ -1,0 +1,45 @@
+"""Event tracing for simulations: record (time, category, label, payload)
+tuples and compute simple statistics over them."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    category: str
+    label: str
+    payload: Any = None
+
+
+@dataclass
+class Trace:
+    """An append-only event log with query helpers."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, time: float, category: str, label: str, payload: Any = None) -> None:
+        self.events.append(TraceEvent(time, category, label, payload))
+
+    def by_category(self, category: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.category == category]
+
+    def count(self, category: str) -> int:
+        return sum(1 for e in self.events if e.category == category)
+
+    def span(self) -> float:
+        """Time between the first and last recorded event."""
+        if not self.events:
+            return 0.0
+        times = [e.time for e in self.events]
+        return max(times) - min(times)
+
+    def busy_time(self, category: str) -> float:
+        """Sum of numeric payloads for a category (for duration events)."""
+        return sum(
+            e.payload for e in self.by_category(category)
+            if isinstance(e.payload, (int, float))
+        )

@@ -1,0 +1,20 @@
+"""Storage hierarchy models: shared parallel filesystem, node-local burst
+buffers, dataset sharding/staging, and the Section VI-B aggregate-read-
+bandwidth requirement model.
+"""
+
+from repro.storage.burst_buffer import BurstBuffer, StagingPlan
+from repro.storage.dataset import Dataset, ShardingPlan
+from repro.storage.filesystem import SharedFileSystem
+from repro.storage.io_model import IoRequirement, read_requirement, io_feasibility
+
+__all__ = [
+    "BurstBuffer",
+    "Dataset",
+    "IoRequirement",
+    "SharedFileSystem",
+    "ShardingPlan",
+    "StagingPlan",
+    "io_feasibility",
+    "read_requirement",
+]

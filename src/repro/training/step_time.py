@@ -1,0 +1,190 @@
+"""Per-step time decomposition for synchronous distributed training.
+
+One optimizer step consists of ``k`` (accumulation) micro-steps of
+forward+backward compute, one hierarchical gradient allreduce, and the
+input-pipeline reads feeding the micro-batches. The exposed (critical-path)
+time is::
+
+    step = k * compute_micro * (1 + jitter_cv * sqrt(2 ln n_ranks))
+         + max(0, comm  - overlap_fraction    * compute_micro)
+         + max(0, io    - io_overlap_fraction * k * compute_micro)
+
+The jitter term is the synchronous-SGD straggler penalty: every step waits
+for the slowest of ``n_ranks`` ranks, and the expected maximum of n i.i.d.
+rank times exceeds the mean by ~``sigma * sqrt(2 ln n)``.
+
+where the allreduce is modelled as an intra-node NVLink ring followed by an
+inter-node InfiniBand ring over the node count (the NCCL hierarchical
+scheme), and model-parallel activation exchange is added to each micro-step.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.machine.gpu import Precision
+from repro.machine.node import NodeSpec
+from repro.machine.system import System
+from repro.models.base import ModelSpec
+from repro.network.collectives import allreduce_time
+from repro.network.link import NVLINK2, LinkSpec
+from repro.training.parallelism import DataSource, ParallelismPlan
+
+
+@dataclass(frozen=True)
+class StepBreakdown:
+    """Timing decomposition of one optimizer step (seconds).
+
+    ``comm`` / ``io`` are the *total* costs; ``comm_exposed`` /
+    ``io_exposed`` are what survives overlap and lands on the critical path.
+    """
+
+    compute: float
+    comm: float
+    comm_exposed: float
+    io: float
+    io_exposed: float
+    mp_exchange: float
+    straggler: float
+    samples: int  # samples consumed per step by the whole job
+
+    @property
+    def total(self) -> float:
+        return (
+            self.compute
+            + self.straggler
+            + self.mp_exchange
+            + self.comm_exposed
+            + self.io_exposed
+        )
+
+    @property
+    def comm_fraction(self) -> float:
+        """Share of the critical path spent in exposed gradient communication."""
+        return self.comm_exposed / self.total if self.total else 0.0
+
+    @property
+    def io_fraction(self) -> float:
+        return self.io_exposed / self.total if self.total else 0.0
+
+    @property
+    def compute_fraction(self) -> float:
+        busy = self.compute + self.mp_exchange + self.straggler
+        return busy / self.total if self.total else 0.0
+
+
+def _data_rate_per_node(
+    system: System, n_nodes: int, source: DataSource
+) -> float:
+    """Achievable input-read bytes/s per node for the chosen source."""
+    if source is DataSource.MEMORY:
+        return float("inf")
+    if source is DataSource.NVME:
+        nvme = system.nvme
+        if nvme is None:
+            raise ConfigurationError(
+                f"{system.name} nodes have no NVMe burst buffer"
+            )
+        return nvme.read_bandwidth
+    if system.shared_fs is None:
+        raise ConfigurationError(f"{system.name} has no shared filesystem")
+    return system.shared_fs.read_bandwidth(n_nodes, random_access=True)
+
+
+def step_breakdown(
+    model: ModelSpec,
+    system: System,
+    n_nodes: int,
+    plan: ParallelismPlan,
+    data_source: DataSource = DataSource.NVME,
+    precision: Precision = Precision.MIXED,
+    intra_node_link: LinkSpec = NVLINK2,
+) -> StepBreakdown:
+    """Compute the step-time decomposition for a job configuration."""
+    system.require_nodes(n_nodes)
+    node: NodeSpec = system.node
+    if not node.has_gpus:
+        raise ConfigurationError(f"{system.name} main partition has no GPUs")
+    if plan.model_shards > node.gpu_count and plan.model_shards % node.gpu_count:
+        raise ConfigurationError(
+            "multi-node model parallelism must use whole nodes per replica"
+        )
+
+    n_gpus = n_nodes * node.gpu_count
+    replicas = plan.replicas(n_gpus)
+    k = plan.accumulation_steps
+
+    # -- compute -----------------------------------------------------------------
+    # Model-parallel shards split the per-sample FLOPs evenly.
+    compute_micro = model.step_compute_time(
+        node.gpus, plan.local_batch, precision
+    ) / plan.model_shards
+    compute = k * compute_micro
+
+    # -- model-parallel activation exchange ---------------------------------------
+    if plan.model_shards > 1:
+        act_bytes = model.activation_bytes_per_sample or model.bytes_per_sample
+        boundary_bytes = (
+            2.0  # forward activations + backward activation gradients
+            * act_bytes
+            * plan.local_batch
+            * (plan.model_shards - 1)
+            / plan.model_shards
+        )
+        link = intra_node_link if plan.model_shards <= node.gpu_count else (
+            system.interconnect
+        )
+        mp_exchange = k * link.transfer_time(boundary_bytes)
+    else:
+        mp_exchange = 0.0
+
+    # -- gradient allreduce --------------------------------------------------------
+    # Each shard owns 1/model_shards of the parameters.
+    message = model.gradient_bytes / plan.model_shards
+    replicas_per_node = max(1, node.gpu_count // plan.model_shards)
+    comm = 0.0
+    if replicas_per_node > 1:
+        comm += allreduce_time(
+            replicas_per_node, message, intra_node_link, plan.allreduce_algorithm
+        )
+    nodes_in_ring = n_nodes if plan.model_shards <= node.gpu_count else (
+        n_nodes // (plan.model_shards // node.gpu_count)
+    )
+    if nodes_in_ring > 1:
+        comm += allreduce_time(
+            nodes_in_ring, message, system.interconnect, plan.allreduce_algorithm
+        )
+    comm_exposed = max(0.0, comm - plan.overlap_fraction * compute_micro)
+
+    # -- input pipeline --------------------------------------------------------------
+    samples_per_node_step = (
+        plan.local_batch * k * replicas_per_node
+        if plan.model_shards <= node.gpu_count
+        else plan.local_batch * k / (plan.model_shards // node.gpu_count)
+    )
+    rate = _data_rate_per_node(system, n_nodes, data_source)
+    io = (
+        0.0
+        if rate == float("inf")
+        else samples_per_node_step * model.bytes_per_sample / rate
+    )
+    io_exposed = max(0.0, io - plan.io_overlap_fraction * compute)
+
+    # -- synchronous-SGD straggler penalty ------------------------------------------
+    if plan.compute_jitter_cv > 0.0 and n_gpus > 1:
+        straggler = compute * plan.compute_jitter_cv * math.sqrt(2.0 * math.log(n_gpus))
+    else:
+        straggler = 0.0
+
+    return StepBreakdown(
+        compute=compute,
+        comm=comm,
+        comm_exposed=comm_exposed,
+        io=io,
+        io_exposed=io_exposed,
+        mp_exchange=mp_exchange,
+        straggler=straggler,
+        samples=replicas * plan.local_batch * k,
+    )

@@ -1,0 +1,111 @@
+"""Unit constants and conversion helpers.
+
+All quantities inside the library are SI: bytes, seconds, FLOP/s, bytes/s.
+These constants make call sites self-documenting (``25 * units.GB`` rather
+than ``25e9``) and keep the calibration constants in DESIGN.md auditable.
+
+Decimal (SI) prefixes are used throughout because the paper quotes decimal
+figures (e.g. "25 GB/s", "2.5 TB/s"). Binary prefixes are provided separately
+for memory capacities where vendors quote powers of two.
+"""
+
+from __future__ import annotations
+
+# -- decimal prefixes (rates, bandwidths, FLOPs) ------------------------------
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+PETA = 1e15
+EXA = 1e18
+
+KB = KILO
+MB = MEGA
+GB = GIGA
+TB = TERA
+PB = PETA
+
+KFLOPS = KILO
+MFLOPS = MEGA
+GFLOPS = GIGA
+TFLOPS = TERA
+PFLOPS = PETA
+EFLOPS = EXA
+
+# -- binary prefixes (memory capacities) --------------------------------------
+KIB = 2**10
+MIB = 2**20
+GIB = 2**30
+TIB = 2**40
+
+# -- time ----------------------------------------------------------------------
+US = 1e-6
+MS = 1e-3
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with an appropriate decimal prefix.
+
+    >>> format_bytes(1.4e9)
+    '1.40 GB'
+    """
+    return _format(n, "B")
+
+
+def format_rate(n: float) -> str:
+    """Render a bytes/second rate.
+
+    >>> format_rate(2.5e12)
+    '2.50 TB/s'
+    """
+    return _format(n, "B/s")
+
+
+def format_flops(n: float) -> str:
+    """Render a FLOP/s rate.
+
+    >>> format_flops(1.13e18)
+    '1.13 EFLOP/s'
+    """
+    return _format(n, "FLOP/s")
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration using the most natural unit.
+
+    >>> format_time(0.008)
+    '8.00 ms'
+    """
+    if seconds == 0:
+        return "0 s"
+    if seconds < 1e-3:
+        return f"{seconds / US:.2f} us"
+    if seconds < 1.0:
+        return f"{seconds / MS:.2f} ms"
+    if seconds < MINUTE:
+        return f"{seconds:.2f} s"
+    if seconds < HOUR:
+        return f"{seconds / MINUTE:.2f} min"
+    return f"{seconds / HOUR:.2f} h"
+
+
+_PREFIXES = [
+    (EXA, "E"),
+    (PETA, "P"),
+    (TERA, "T"),
+    (GIGA, "G"),
+    (MEGA, "M"),
+    (KILO, "k"),
+]
+
+
+def _format(n: float, suffix: str) -> str:
+    if n < 0:
+        raise ValueError(f"expected a non-negative quantity, got {n!r}")
+    for scale, prefix in _PREFIXES:
+        if n >= scale:
+            return f"{n / scale:.2f} {prefix}{suffix}"
+    return f"{n:.2f} {suffix}"

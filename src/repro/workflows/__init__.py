@@ -1,0 +1,30 @@
+"""AI-coordinated workflow machinery and the Section V case studies.
+
+- :mod:`repro.workflows.dag` — task graphs executed on the discrete-event
+  engine (the Balsam/RAPTOR orchestration role);
+- :mod:`repro.workflows.facility` — multi-facility placement (Summit,
+  Perlmutter, ThetaGPU, Cerebras CS-2 — the cross-facility campaign of
+  Trifan et al.);
+- :mod:`repro.workflows.steering` — the DeepDriveMD steering pattern:
+  autoencoder-scored outlier detection redirecting simulation ensembles;
+- :mod:`repro.workflows.active_learning` — surrogate refinement loops;
+- ``case_materials`` / ``case_drug`` / ``case_biology`` — the three
+  Section V case studies end to end.
+"""
+
+from repro.workflows.active_learning import ActiveLearningLoop, ActiveLearningResult
+from repro.workflows.dag import Task, TaskGraph, WorkflowRun
+from repro.workflows.facility import FACILITIES, Facility
+from repro.workflows.steering import SteeringLoop, SteeringResult
+
+__all__ = [
+    "ActiveLearningLoop",
+    "ActiveLearningResult",
+    "FACILITIES",
+    "Facility",
+    "SteeringLoop",
+    "SteeringResult",
+    "Task",
+    "TaskGraph",
+    "WorkflowRun",
+]

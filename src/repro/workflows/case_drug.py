@@ -1,0 +1,178 @@
+"""Section V-C: the drug-discovery lead-optimisation loop (IMPECCABLE-style).
+
+Pipeline, following Saadi et al. / Glaser et al. / Blanchard et al.:
+
+1. cheap docking scores over the whole library (free tier);
+2. a random-forest surrogate learns the *expensive* (MD-refined) affinity
+   from a growing training set — using both the compound's fragment
+   features and its docking score (multi-fidelity: the surrogate learns to
+   *correct* the cheap tier's systematic bias rather than start from
+   scratch);
+3. each iteration, the surrogate (mean + uncertainty) ranks the library,
+   the top candidates are escalated to MD refinement, and the surrogate is
+   retrained on the accumulated MD data;
+4. optionally, a genetic algorithm searches compound space against the
+   surrogate (the Blanchard et al. pattern).
+
+Figure of merit: enrichment of the true top binders among the MD-evaluated
+compounds, against (a) random selection and (b) docking-rank selection at
+equal MD budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.ga import GaResult, GeneticAlgorithm
+from repro.science.docking import CompoundLibrary, DockingOracle
+
+
+@dataclass
+class DrugDiscoveryResult:
+    """Outcome of a lead-discovery campaign."""
+
+    evaluated_genomes: np.ndarray  # compounds sent to MD, in order
+    md_calls: int
+    enrichment: float  # fraction of true top-1% binders found
+    enrichment_random: float
+    enrichment_docking: float
+    best_true_affinity: float
+    iteration_best: list[float]  # best true affinity found per iteration
+
+    @property
+    def enrichment_gain(self) -> float:
+        """Improvement factor over the docking-rank baseline."""
+        if self.enrichment_docking == 0:
+            return float("inf") if self.enrichment > 0 else 1.0
+        return self.enrichment / self.enrichment_docking
+
+
+class DrugDiscoveryWorkflow:
+    """Surrogate-in-the-loop virtual screening over a compound library."""
+
+    def __init__(
+        self,
+        library: CompoundLibrary,
+        oracle: DockingOracle,
+        n_trees: int = 64,
+        max_depth: int = 12,
+        exploration_weight: float = 0.5,
+        seed: int | None = 0,
+    ):
+        if len(library) < 32:
+            raise ConfigurationError("library too small to screen")
+        if exploration_weight < 0:
+            raise ConfigurationError("exploration_weight must be non-negative")
+        self.library = library
+        self.oracle = oracle
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.exploration_weight = exploration_weight
+        self.seed = seed
+
+    def run(
+        self,
+        initial: int = 48,
+        per_iteration: int = 24,
+        n_iterations: int = 5,
+        top_fraction: float = 0.01,
+    ) -> DrugDiscoveryResult:
+        if initial < 8 or per_iteration < 1 or n_iterations < 1:
+            raise ConfigurationError("bad campaign sizes")
+        budget = initial + per_iteration * n_iterations
+        if budget > len(self.library):
+            raise ConfigurationError("MD budget exceeds library size")
+
+        rng = np.random.default_rng(self.seed)
+        docking = self.oracle.docking_score(self.library.genomes)
+        # multi-fidelity descriptor: fragment one-hots + the docking score
+        features = np.column_stack([self.library.features(), docking])
+
+        # seed the training set with the docking tier's best guesses
+        order = np.argsort(docking)[::-1]
+        evaluated = list(order[:initial])
+        md_scores = list(self.oracle.md_refine(self.library.genomes[evaluated]))
+        iteration_best = [float(np.max(md_scores))]
+
+        remaining = np.setdiff1d(np.arange(len(self.library)), evaluated)
+        for _ in range(n_iterations):
+            surrogate = RandomForestRegressor(
+                n_trees=self.n_trees, max_depth=self.max_depth, seed=self.seed
+            ).fit(features[evaluated], np.array(md_scores))
+            mean, std = surrogate.predict_with_uncertainty(features[remaining])
+            # UCB acquisition: exploit predicted affinity, explore uncertainty
+            score = mean + self.exploration_weight * std
+            pick_local = np.argsort(score)[-per_iteration:]
+            pick = remaining[pick_local]
+            new_scores = self.oracle.md_refine(self.library.genomes[pick])
+            evaluated.extend(int(i) for i in pick)
+            md_scores.extend(float(s) for s in new_scores)
+            remaining = np.setdiff1d(remaining, pick)
+            iteration_best.append(float(np.max(md_scores)))
+
+        evaluated_genomes = self.library.genomes[evaluated]
+        truth = self.oracle.true_affinity(self.library.genomes)
+
+        # equal-budget baselines
+        random_pick = rng.choice(len(self.library), size=len(evaluated), replace=False)
+        docking_pick = order[: len(evaluated)]
+
+        def enrich(indices: np.ndarray) -> float:
+            k = max(1, int(len(self.library) * top_fraction))
+            top = set(np.argsort(truth)[-k:].tolist())
+            return len(top.intersection(int(i) for i in indices)) / k
+
+        return DrugDiscoveryResult(
+            evaluated_genomes=evaluated_genomes,
+            md_calls=len(evaluated),
+            enrichment=enrich(np.array(evaluated)),
+            enrichment_random=enrich(random_pick),
+            enrichment_docking=enrich(docking_pick),
+            best_true_affinity=float(truth[evaluated].max()),
+            iteration_best=iteration_best,
+        )
+
+    def ga_search(
+        self,
+        training_fraction: float = 0.2,
+        generations: int = 40,
+        population: int = 64,
+    ) -> tuple[GaResult, float]:
+        """Blanchard-style generative search: train the surrogate on a
+        sample of MD data, then let a GA optimise compounds against it.
+
+        Returns (GA result, true affinity of the GA's best compound).
+        """
+        if not 0 < training_fraction <= 1:
+            raise ConfigurationError("training_fraction must be in (0, 1]")
+        rng = np.random.default_rng(self.seed)
+        n_train = max(16, int(len(self.library) * training_fraction))
+        idx = rng.choice(len(self.library), size=n_train, replace=False)
+        genomes = self.library.genomes[idx]
+        x = np.column_stack(
+            [self.library.features(genomes), self.oracle.docking_score(genomes)]
+        )
+        y = self.oracle.md_refine(genomes)
+        surrogate = RandomForestRegressor(
+            n_trees=self.n_trees, max_depth=self.max_depth, seed=self.seed
+        ).fit(x, y)
+
+        def fitness(genomes: np.ndarray) -> np.ndarray:
+            feats = np.column_stack(
+                [self.library.features(genomes), self.oracle.docking_score(genomes)]
+            )
+            return surrogate.predict(feats)
+
+        ga = GeneticAlgorithm(
+            genome_length=self.oracle.genome_length,
+            n_alleles=self.oracle.n_fragments,
+            population=population,
+            seed=self.seed,
+        )
+        result = ga.run(fitness, generations=generations)
+        true_best = float(self.oracle.true_affinity(result.best_genome[None, :])[0])
+        return result, true_best

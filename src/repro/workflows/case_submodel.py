@@ -1,0 +1,174 @@
+"""The submodel motif end to end: an ML subgrid closure in a climate toy.
+
+Pipeline (mirroring Rasp/Pritchard/Gentine and the Table I example):
+
+1. run the coupled two-scale Lorenz-96 "truth" and harvest
+   (resolved-state stencil -> true subgrid forcing) training pairs;
+2. train an MLP closure;
+3. run the reduced model with the learned closure and evaluate what the
+   paper's Section VI-A says must be evaluated:
+   - *forecast skill*: how long the parameterised model tracks the truth
+     versus the uncorrected truncation;
+   - *climate fidelity*: long-run mean/variance of the resolved state;
+   - *stability under iteration* with and without the conservation
+     correction (constraints "imposed by a final correction").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ml.mlp import MLP
+from repro.optim.adam import Adam
+from repro.science.lorenz96 import L96Params, ReducedLorenz96, TwoScaleLorenz96
+
+
+@dataclass
+class SubmodelResult:
+    """Outcome of the ML-closure study.
+
+    The climate metric is the *variance* of the resolved state: the subgrid
+    coupling damps the slow variables, so the uncorrected truncation runs
+    far too variable while barely shifting the mean — variance is where the
+    missing physics shows.
+    """
+
+    offline_rmse: float  # closure error on held-out pairs
+    skill_horizon_ml: float  # model time until error > threshold
+    skill_horizon_truncated: float
+    climate_mean_truth: float
+    climate_mean_ml: float
+    climate_mean_truncated: float
+    climate_var_truth: float
+    climate_var_ml: float
+    climate_var_truncated: float
+    stable: bool  # reduced-with-ML run stayed bounded
+
+    @property
+    def horizon_gain(self) -> float:
+        if self.skill_horizon_truncated == 0:
+            return float("inf")
+        return self.skill_horizon_ml / self.skill_horizon_truncated
+
+    @property
+    def climate_error_ml(self) -> float:
+        return abs(self.climate_var_ml - self.climate_var_truth)
+
+    @property
+    def climate_error_truncated(self) -> float:
+        return abs(self.climate_var_truncated - self.climate_var_truth)
+
+
+class SubmodelWorkflow:
+    """Train and evaluate an ML subgrid closure for Lorenz-96."""
+
+    def __init__(self, params: L96Params | None = None, seed: int = 0):
+        self.params = params or L96Params()
+        self.seed = seed
+        self.closure: MLP | None = None
+        self.offline_rmse = float("nan")
+        self._coupling_mean = 0.0
+
+    def train_closure(
+        self, n_samples: int = 4000, epochs: int = 150, hidden: int = 32
+    ) -> float:
+        """Harvest coupled-run data, train the MLP, return held-out RMSE."""
+        truth = TwoScaleLorenz96(self.params, seed=self.seed)
+        x, y = truth.generate_training_data(n_samples + n_samples // 4)
+        n_train = n_samples
+        self.closure = MLP([5, hidden, hidden, 1], seed=self.seed)
+        self.closure.fit(
+            x[:n_train], y[:n_train], epochs=epochs,
+            optimizer=Adam(lr=2e-3), batch_size=64, seed=self.seed,
+        )
+        self._coupling_mean = float(y[:n_train].mean())
+        pred = self.closure.predict(x[n_train:])
+        self.offline_rmse = float(np.sqrt(np.mean((pred - y[n_train:]) ** 2)))
+        return self.offline_rmse
+
+    def _reduced(self, x0: np.ndarray, use_ml: bool, conserve: bool) -> ReducedLorenz96:
+        if use_ml and self.closure is None:
+            raise ConfigurationError("train_closure() first")
+        model = ReducedLorenz96(
+            self.params,
+            closure=self.closure.predict if use_ml else None,
+            x0=x0,
+            conserve_mean=conserve,
+        )
+        if conserve:
+            model.calibrate_conservation(self._coupling_mean)
+        return model
+
+    def run(
+        self,
+        forecast_steps: int = 2000,
+        climate_steps: int = 8000,
+        dt: float = 0.001,
+        skill_threshold: float = 3.0,
+        conserve_mean: bool = True,
+    ) -> SubmodelResult:
+        """Evaluate forecast skill and climate fidelity."""
+        if self.closure is None:
+            raise ConfigurationError("train_closure() first")
+
+        # -- forecast skill: truth vs reduced models from the same state ----
+        truth = TwoScaleLorenz96(self.params, seed=self.seed + 1)
+        truth.run(3000, dt)
+        x0 = truth.x.copy()
+        truth_traj = np.empty((forecast_steps, self.params.n_slow))
+        for i in range(forecast_steps):
+            truth.step(dt)
+            truth_traj[i] = truth.x
+
+        horizons = {}
+        for label, use_ml in (("ml", True), ("truncated", False)):
+            model = self._reduced(x0, use_ml, conserve_mean and use_ml)
+            traj = model.run(forecast_steps, dt)
+            err = np.sqrt(((traj - truth_traj) ** 2).mean(axis=1))
+            beyond = np.nonzero(err > skill_threshold)[0]
+            horizon = forecast_steps if beyond.size == 0 else int(beyond[0])
+            horizons[label] = horizon * dt
+
+        # -- climate fidelity: long free runs ------------------------------------
+        # The coupled truth integrates at dt (fast scale); the reduced
+        # models take 0.005 steps (slow scale only) over a longer window.
+        climate_truth = TwoScaleLorenz96(self.params, seed=self.seed + 2)
+        climate_truth.run(2000, 0.002)
+        truth_traj = np.empty((climate_steps, self.params.n_slow))
+        for i in range(climate_steps):
+            climate_truth.step(0.002)
+            truth_traj[i] = climate_truth.x
+        means = {"truth": float(truth_traj.mean())}
+        variances = {"truth": float(truth_traj.var())}
+
+        stable = True
+        reduced_dt = 0.005
+        reduced_steps = max(climate_steps, int(climate_steps * 0.002 / reduced_dt) * 4)
+        for label, use_ml in (("ml", True), ("truncated", False)):
+            model = self._reduced(climate_truth.x.copy(), use_ml,
+                                  conserve_mean and use_ml)
+            traj = model.run(reduced_steps, reduced_dt)
+            if not np.isfinite(traj).all() or np.abs(traj).max() > 1e3:
+                if use_ml:
+                    stable = False
+                means[label] = float("nan")
+                variances[label] = float("inf")
+            else:
+                means[label] = float(traj.mean())
+                variances[label] = float(traj.var())
+
+        return SubmodelResult(
+            offline_rmse=self.offline_rmse,
+            skill_horizon_ml=horizons["ml"],
+            skill_horizon_truncated=horizons["truncated"],
+            climate_mean_truth=means["truth"],
+            climate_mean_ml=means["ml"],
+            climate_mean_truncated=means["truncated"],
+            climate_var_truth=variances["truth"],
+            climate_var_ml=variances["ml"],
+            climate_var_truncated=variances["truncated"],
+            stable=stable,
+        )

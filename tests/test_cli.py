@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["comm", "--model", "alexnet"])
+
+
+class TestCommands:
+    def test_machine(self, capsys):
+        assert main(["machine"]) == 0
+        assert "Summit" in capsys.readouterr().out
+
+    def test_machine_andes(self, capsys):
+        assert main(["machine", "--system", "andes"]) == 0
+        assert "Andes" in capsys.readouterr().out
+
+    def test_comm_bert(self, capsys):
+        assert main(["comm", "--model", "bert_large"]) == 0
+        out = capsys.readouterr().out
+        assert "112.00 ms" in out
+
+    def test_io(self, capsys):
+        assert main(["io"]) == 0
+        out = capsys.readouterr().out
+        assert "insufficient" in out and "ok" in out
+
+    def test_scaling_weak(self, capsys):
+        assert main(["scaling", "--model", "resnet50", "--nodes", "1,16"]) == 0
+        out = capsys.readouterr().out
+        assert "weak scaling" in out
+        assert out.count("\n") >= 4
+
+    def test_scaling_strong(self, capsys):
+        assert main([
+            "scaling", "--model", "resnet50", "--nodes", "1,2,4",
+            "--batch", "512", "--strong",
+        ]) == 0
+        assert "strong scaling" in capsys.readouterr().out
+
+    def test_apps(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        for key in ("kurth", "yang", "laanait", "khan", "blanchard"):
+            assert key in out
+
+    def test_survey(self, capsys):
+        assert main(["survey"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out and "Fig. 6" in out
+
+    def test_gordon_bell(self, capsys):
+        assert main(["gordon-bell"]) == 0
+        assert "5 / 3" in capsys.readouterr().out
+
+    def test_gordon_bell_verbose(self, capsys):
+        assert main(["gordon-bell", "--verbose"]) == 0
+        assert "Kurth" in capsys.readouterr().out

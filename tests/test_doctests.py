@@ -1,0 +1,30 @@
+"""Run the library's doctests — the examples embedded in docstrings are part
+of the documented API contract."""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULES = [
+    "repro.units",
+    "repro.core.api",
+    "repro.ml.mlp",
+    "repro.ml.surrogate",
+    "repro.optim.sgd",
+    "repro.optim.schedule",
+    "repro.machine.summit",
+    "repro.portfolio.taxonomy",
+    "repro.science.md",
+    "repro.sim.engine",
+    "repro.training.job",
+    "repro.training.scaling",
+    "repro.analysis.scaling_laws",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module_name}: {results.failed} doctest failures"

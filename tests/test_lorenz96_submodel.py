@@ -1,0 +1,158 @@
+"""Tests for the two-scale Lorenz-96 and the ML-subgrid-closure workflow."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.science.lorenz96 import L96Params, ReducedLorenz96, TwoScaleLorenz96
+from repro.workflows.case_submodel import SubmodelWorkflow
+
+
+class TestL96Params:
+    def test_defaults_standard(self):
+        p = L96Params()
+        assert p.n_slow == 8
+        assert p.fast_per_slow == 8
+        assert p.forcing == 10.0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            L96Params(n_slow=2)
+        with pytest.raises(ConfigurationError):
+            L96Params(time_scale=0)
+
+
+class TestTwoScaleLorenz96:
+    def test_state_shapes(self):
+        model = TwoScaleLorenz96(seed=0)
+        assert model.x.shape == (8,)
+        assert model.y.shape == (64,)
+
+    def test_trajectory_stays_bounded(self):
+        model = TwoScaleLorenz96(seed=0)
+        model.run(3000)
+        assert np.isfinite(model.x).all()
+        assert np.abs(model.x).max() < 50
+
+    def test_chaotic_divergence(self):
+        """Nearby initial conditions separate — the defining L96 property."""
+        a = TwoScaleLorenz96(seed=0)
+        b = TwoScaleLorenz96(seed=0)
+        a.run(2000)
+        b.x = a.x.copy() + 1e-6
+        b.y = a.y.copy()
+        a_start = a.x.copy()
+        initial_gap = 1e-6
+        a.run(3000)
+        b.run(3000)
+        final_gap = np.abs(a.x - b.x).max()
+        assert final_gap > 100 * initial_gap
+        assert not np.allclose(a.x, a_start)
+
+    def test_coupling_term_shape_and_sign_structure(self):
+        model = TwoScaleLorenz96(seed=1)
+        model.run(2000)
+        coupling = model.coupling_term()
+        assert coupling.shape == (8,)
+        assert np.isfinite(coupling).all()
+
+    def test_training_data_consistency(self):
+        model = TwoScaleLorenz96(seed=2)
+        x, y = model.generate_training_data(200, warmup_steps=500)
+        assert x.shape == (200, 5)
+        assert y.shape == (200, 1)
+        # stencil centre column equals the site value: column index 2
+        assert np.isfinite(x).all() and np.isfinite(y).all()
+
+    def test_bad_dt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TwoScaleLorenz96(seed=0).step(dt=0)
+
+
+class TestReducedLorenz96:
+    def test_unclosed_model_runs(self):
+        model = ReducedLorenz96()
+        traj = model.run(500)
+        assert traj.shape == (500, 8)
+        assert np.isfinite(traj).all()
+
+    def test_single_scale_l96_climatology(self):
+        """The truncated model is the classic single-scale L96 with F=10:
+        chaotic, mean X ~ 2-3, variance O(10). (dt=0.005 covers ~50 model
+        time units, enough to settle on the attractor.)"""
+        model = ReducedLorenz96()
+        model.run(4000, dt=0.005)
+        traj = model.run(8000, dt=0.005)
+        assert 1.0 < traj.mean() < 4.0
+        assert traj.var() > 5.0
+
+    def test_closure_receives_stencils(self):
+        seen = {}
+
+        def closure(stencil):
+            seen["shape"] = stencil.shape
+            return np.zeros(stencil.shape[0])
+
+        model = ReducedLorenz96(closure=closure)
+        model.step()
+        assert seen["shape"] == (8, 5)
+
+    def test_zero_closure_equals_no_closure(self):
+        a = ReducedLorenz96(closure=lambda s: np.zeros(s.shape[0]))
+        b = ReducedLorenz96()
+        a.run(200)
+        b.run(200)
+        assert np.allclose(a.x, b.x)
+
+    def test_conservation_correction_fixes_mean(self):
+        def biased_closure(stencil):
+            return np.full(stencil.shape[0], 5.0)  # wildly biased
+
+        model = ReducedLorenz96(closure=biased_closure, conserve_mean=True)
+        model.calibrate_conservation(-1.0)
+        term = model._closure_term(model.x)
+        assert term.mean() == pytest.approx(-1.0)
+
+    def test_wrong_closure_shape_rejected(self):
+        model = ReducedLorenz96(closure=lambda s: np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            model.step()
+
+    def test_bad_x0_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReducedLorenz96(x0=np.zeros(5))
+
+
+class TestSubmodelWorkflow:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        workflow = SubmodelWorkflow(seed=0)
+        rmse = workflow.train_closure(n_samples=3000, epochs=100)
+        result = workflow.run(forecast_steps=1500, climate_steps=5000)
+        return workflow, rmse, result
+
+    def test_offline_closure_learns_signal(self, outcome):
+        workflow, rmse, _ = outcome
+        # the coupling term has O(1) spread; the closure must beat the
+        # climatological-mean predictor
+        truth = TwoScaleLorenz96(workflow.params, seed=99)
+        _, y = truth.generate_training_data(500, warmup_steps=1000)
+        assert rmse < float(y.std())
+
+    def test_ml_closure_extends_forecast_skill(self, outcome):
+        _, _, result = outcome
+        assert result.skill_horizon_ml >= result.skill_horizon_truncated
+
+    def test_ml_closure_improves_climate(self, outcome):
+        _, _, result = outcome
+        assert result.climate_error_ml < result.climate_error_truncated
+
+    def test_parameterised_model_is_stable(self, outcome):
+        """The Section VI-A.3 requirement: 'If networks are applied
+        iteratively, it will be important to ... stabilise simulations.'"""
+        _, _, result = outcome
+        assert result.stable
+
+    def test_run_before_training_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SubmodelWorkflow(seed=1).run()

@@ -1,0 +1,171 @@
+"""Tests for repro.machine: GPU/CPU specs, nodes, systems, OLCF factories."""
+
+import pytest
+
+from repro import units
+from repro.errors import CapacityError, ConfigurationError
+from repro.machine import (
+    AMD_EPYC_7302,
+    IBM_POWER9,
+    NVIDIA_K80,
+    NVIDIA_V100,
+    CpuSpec,
+    GpuSpec,
+    NodeSpec,
+    Precision,
+    andes,
+    rhea,
+    summit,
+    summit_high_mem_node,
+    summit_node,
+)
+
+
+class TestGpuSpec:
+    def test_v100_mixed_peak(self):
+        assert NVIDIA_V100.peak(Precision.MIXED) == 125e12
+
+    def test_v100_fp64_peak(self):
+        assert NVIDIA_V100.peak(Precision.FP64) == pytest.approx(7.8e12)
+
+    def test_v100_memory_is_16_gib(self):
+        assert NVIDIA_V100.memory_bytes == 16 * units.GIB
+
+    def test_k80_has_no_tensor_cores_falls_back_to_fp32(self):
+        assert NVIDIA_K80.peak(Precision.MIXED) == NVIDIA_K80.peak(Precision.FP32)
+
+    def test_unknown_precision_raises(self):
+        gpu = GpuSpec("x", {Precision.FP32: 1e12}, 1e9, 1e9)
+        with pytest.raises(ConfigurationError):
+            gpu.peak(Precision.FP64)
+
+    def test_rejects_empty_peaks(self):
+        with pytest.raises(ConfigurationError):
+            GpuSpec("x", {}, 1e9, 1e9)
+
+    def test_rejects_nonpositive_peak(self):
+        with pytest.raises(ConfigurationError):
+            GpuSpec("x", {Precision.FP32: 0.0}, 1e9, 1e9)
+
+    def test_rejects_nonpositive_memory(self):
+        with pytest.raises(ConfigurationError):
+            GpuSpec("x", {Precision.FP32: 1e12}, 0.0, 1e9)
+
+
+class TestCpuSpec:
+    def test_power9_reserves_one_core(self):
+        assert IBM_POWER9.cores == 22
+        assert IBM_POWER9.usable_cores == 21
+
+    def test_peak_flops_positive(self):
+        assert AMD_EPYC_7302.peak_flops > 0
+
+    def test_rejects_usable_above_physical(self):
+        with pytest.raises(ConfigurationError):
+            CpuSpec("x", cores=4, usable_cores=5, clock_hz=1e9)
+
+
+class TestSummitNode:
+    def test_composition(self):
+        node = summit_node()
+        assert node.cpu_count == 2
+        assert node.gpu_count == 6
+        assert node.has_nvme
+
+    def test_42_usable_cores(self):
+        # "One POWER9 core of each processor is reserved for the system,
+        # leaving 42 cores per node to run user processes."
+        assert summit_node().usable_cores == 42
+
+    def test_hbm_96_gb(self):
+        assert summit_node().hbm_bytes == 6 * 16 * units.GIB
+
+    def test_peak_750_tf_mixed(self):
+        assert summit_node().peak_flops(Precision.MIXED) == 750e12
+
+    def test_high_mem_node_has_double_hbm(self):
+        assert summit_high_mem_node().hbm_bytes == 2 * summit_node().hbm_bytes
+
+    def test_high_mem_node_nvme_6_4_tb(self):
+        assert summit_high_mem_node().nvme_bytes == pytest.approx(6.4e12)
+
+    def test_cpu_only_node_peak_uses_cpu(self):
+        node = rhea().node
+        assert node.gpu_count == 0
+        assert node.peak_flops(Precision.FP64) == 2 * node.cpus.peak_flops
+
+    def test_gpu_count_without_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NodeSpec(
+                name="bad", cpus=IBM_POWER9, cpu_count=2, gpus=None, gpu_count=6,
+                host_memory_bytes=1e9, nvme_bytes=0, nvme_read_bandwidth=0,
+                nvme_write_bandwidth=0, injection_bandwidth=1e9,
+            )
+
+    def test_nvme_without_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NodeSpec(
+                name="bad", cpus=IBM_POWER9, cpu_count=2, gpus=None, gpu_count=0,
+                host_memory_bytes=1e9, nvme_bytes=1e12, nvme_read_bandwidth=0,
+                nvme_write_bandwidth=0, injection_bandwidth=1e9,
+            )
+
+
+class TestSummitSystem:
+    def test_node_count(self):
+        assert summit().node_count == 4608
+
+    def test_total_nodes_includes_high_mem(self):
+        assert summit().total_nodes == 4608 + 54
+        assert summit(include_high_mem=False).total_nodes == 4608
+
+    def test_over_3_ai_exaops(self):
+        # Summit "over 3 AI-ExaOps mixed precision peak performance"
+        assert summit().peak_flops(Precision.MIXED) > 3e18
+
+    def test_gpu_count(self):
+        assert summit(include_high_mem=False).total_gpus == 4608 * 6
+
+    def test_injection_bandwidth_25_gbs(self):
+        assert summit().interconnect.total_bandwidth == 25e9
+
+    def test_nvme_aggregate_over_27_tbs(self):
+        # Section VI-B: "node-local NVMe has aggregate read bandwidth over
+        # 27 TB/s"
+        assert summit().aggregate_nvme_read_bandwidth(4608) > 27e12
+
+    def test_gpfs_read_2_5_tbs(self):
+        assert summit().shared_fs.aggregate_read_bandwidth == 2.5e12
+
+    def test_require_nodes_over_capacity(self):
+        with pytest.raises(CapacityError):
+            summit().require_nodes(5000)
+
+    def test_require_nodes_zero(self):
+        with pytest.raises(ConfigurationError):
+            summit().require_nodes(0)
+
+    def test_describe_mentions_name(self):
+        assert "Summit" in summit().describe()
+
+    def test_build_small_fabric(self):
+        tree = summit().build_fabric(hosts=64)
+        assert tree.n_hosts == 64
+
+
+class TestCompanionClusters:
+    def test_rhea_partitions(self):
+        r = rhea()
+        assert r.node_count == 512
+        assert r.total_nodes == 521  # 512 CPU + 9 GPU
+
+    def test_andes_704_nodes(self):
+        # "the 704-node Andes cluster", including the nine ex-Rhea GPU nodes
+        assert andes().total_nodes == 704
+
+    def test_companions_share_summit_filesystem(self):
+        assert rhea().shared_fs is summit().shared_fs
+        assert andes().shared_fs is summit().shared_fs
+
+    def test_rhea_cpu_nodes_have_no_gpus(self):
+        assert not rhea().node.has_gpus

@@ -1,0 +1,89 @@
+"""Tests for the analytic model catalog."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.machine.gpu import NVIDIA_V100
+from repro.models import CATALOG, ModelSpec, bert_large, get_model, resnet50
+
+
+class TestModelSpec:
+    def test_gradient_bytes_fp32(self):
+        spec = ModelSpec("x", 1e6, 1e9, 1e3, 0.1)
+        assert spec.gradient_bytes == 4e6
+
+    def test_gradient_bytes_fp16(self):
+        spec = ModelSpec("x", 1e6, 1e9, 1e3, 0.1, gradient_bytes_per_param=2.0)
+        assert spec.gradient_bytes == 2e6
+
+    def test_sustained_flops(self):
+        spec = ModelSpec("x", 1e6, 1e9, 1e3, 0.5)
+        assert spec.sustained_flops(NVIDIA_V100) == pytest.approx(62.5e12)
+
+    def test_samples_per_second(self):
+        spec = ModelSpec("x", 1e6, 1e9, 1e3, 0.1)
+        assert spec.samples_per_second(NVIDIA_V100) == pytest.approx(12.5e12 / 1e9)
+
+    def test_step_compute_time_linear_in_batch(self):
+        spec = ModelSpec("x", 1e6, 1e9, 1e3, 0.1)
+        t1 = spec.step_compute_time(NVIDIA_V100, 1)
+        t64 = spec.step_compute_time(NVIDIA_V100, 64)
+        assert t64 == pytest.approx(64 * t1)
+
+    def test_sparsity_reduces_flops(self):
+        dense = ModelSpec("x", 1e6, 1e9, 1e3, 0.1)
+        sparse = ModelSpec("x", 1e6, 1e9, 1e3, 0.1, sparsity=0.5)
+        assert sparse.effective_flops_per_sample == dense.effective_flops_per_sample / 2
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModelSpec("x", 1e6, 1e9, 1e3, 1.5)
+
+    def test_odd_gradient_dtype_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModelSpec("x", 1e6, 1e9, 1e3, 0.1, gradient_bytes_per_param=3.0)
+
+    @given(st.floats(min_value=0.01, max_value=1.0))
+    def test_throughput_scales_with_fraction(self, fraction):
+        spec = ModelSpec("x", 1e6, 1e9, 1e3, fraction)
+        assert spec.samples_per_second(NVIDIA_V100) == pytest.approx(
+            fraction * 125e12 / 1e9
+        )
+
+
+class TestCatalog:
+    def test_all_entries_construct(self):
+        for key in CATALOG:
+            spec = get_model(key)
+            assert spec.parameters > 0
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_model("alexnet")
+
+    def test_resnet50_gradient_about_100mb(self):
+        # Section VI-B: "per device allreduce message size for the ResNet50
+        # ... is about 100MB"
+        assert resnet50().gradient_bytes == pytest.approx(100e6, rel=0.05)
+
+    def test_bert_large_gradient_about_1_4gb(self):
+        assert bert_large().gradient_bytes == pytest.approx(1.4e9, rel=0.01)
+
+    def test_resnet50_v100_throughput_calibrated(self):
+        # ~1445 samples/s so that 27648 GPUs need ~20 TB/s of input reads
+        rate = resnet50().samples_per_second(NVIDIA_V100)
+        assert rate == pytest.approx(1445, rel=0.02)
+
+    def test_climate_models_use_fp16_gradients(self):
+        for key in ("tiramisu", "deeplabv3plus", "fc_densenet"):
+            assert get_model(key).gradient_bytes_per_param == 2.0
+
+    def test_catalog_keys_are_snake_case(self):
+        for key in CATALOG:
+            assert key == key.lower()
+            assert " " not in key
+
+    def test_fresh_instance_per_lookup(self):
+        assert get_model("resnet50") is not get_model("resnet50")

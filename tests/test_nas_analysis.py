@@ -1,0 +1,182 @@
+"""Tests for the NAS (hyperparameter evolution) and MSM analysis case studies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workflows.case_analysis import (
+    MsmResult,
+    TrajectoryAnalysis,
+    two_state_toy_trajectory,
+)
+from repro.workflows.case_nas import (
+    ACTIVATION_CHOICES,
+    DEPTH_CHOICES,
+    GENOME_LENGTH,
+    HyperparameterSearch,
+    LR_CHOICES,
+    WIDTH_CHOICES,
+    decode,
+)
+
+
+class TestDecode:
+    def test_decodes_all_fields(self):
+        params = decode(np.array([0, 1, 1, 2]))
+        assert params["depth"] == DEPTH_CHOICES[0]
+        assert params["width"] == WIDTH_CHOICES[1]
+        assert params["activation"] == ACTIVATION_CHOICES[1]
+        assert params["lr"] == LR_CHOICES[2]
+
+    def test_indices_wrap(self):
+        params = decode(np.array([7, 7, 7, 7]))
+        assert params["depth"] in DEPTH_CHOICES
+        assert params["activation"] in ACTIVATION_CHOICES
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            decode(np.array([0, 1]))
+
+
+class TestHyperparameterSearch:
+    @pytest.fixture(scope="class")
+    def result(self):
+        search = HyperparameterSearch(seed=0, train_epochs=25)
+        return search.run(population=8, generations=3)
+
+    def test_finds_accurate_configuration(self, result):
+        assert result.best_accuracy > 0.9
+
+    def test_at_least_matches_random_search(self, result):
+        assert result.best_accuracy >= result.random_search_accuracy - 0.02
+
+    def test_evaluation_budget_counted(self, result):
+        # 8 x 3 GA evaluations plus the equal-budget random baseline
+        assert result.evaluations == 2 * 8 * 3
+
+    def test_history_monotone_best(self, result):
+        best = np.maximum.accumulate(result.history)
+        assert result.best_accuracy == pytest.approx(best[-1])
+
+    def test_best_hyperparameters_valid(self, result):
+        hp = result.best_hyperparameters
+        assert hp["depth"] in DEPTH_CHOICES
+        assert hp["width"] in WIDTH_CHOICES
+
+    def test_evaluate_is_deterministic(self):
+        search = HyperparameterSearch(seed=3, train_epochs=10)
+        genome = np.array([1, 2, 0, 1])
+        assert search.evaluate(genome) == search.evaluate(genome)
+
+    def test_campaign_graph_parallelises_generations(self):
+        graph = HyperparameterSearch.campaign_graph(population=8, generations=3)
+        run = graph.execute()
+        # within a generation all evaluations run concurrently
+        assert run.makespan < 0.2 * graph.serial_time()
+        assert run.critical_path(graph)[-1] == "select-2"
+
+    def test_tiny_dataset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HyperparameterSearch(n_train=5)
+
+
+class TestTwoStateTrajectory:
+    def test_shapes(self):
+        frames, states = two_state_toy_trajectory(n_frames=500, seed=0)
+        assert frames.shape == (500, 8)
+        assert states.shape == (500,)
+
+    def test_both_states_visited(self):
+        _, states = two_state_toy_trajectory(n_frames=2000, seed=1)
+        assert set(np.unique(states)) == {0, 1}
+
+    def test_switch_rate_near_request(self):
+        _, states = two_state_toy_trajectory(
+            n_frames=5000, switch_probability=0.05, seed=2
+        )
+        switches = (states[1:] != states[:-1]).mean()
+        assert switches == pytest.approx(0.05, abs=0.015)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            two_state_toy_trajectory(switch_probability=0.0)
+
+
+class TestTrajectoryAnalysis:
+    @pytest.fixture(scope="class")
+    def msm(self) -> tuple[MsmResult, np.ndarray]:
+        frames, truth = two_state_toy_trajectory(n_frames=2000, seed=1)
+        result = TrajectoryAnalysis(n_states=2, seed=1).run(frames, lag=2)
+        return result, truth
+
+    def test_transition_matrix_stochastic(self, msm):
+        result, _ = msm
+        assert np.allclose(result.transition_matrix.sum(axis=1), 1.0)
+        assert (result.transition_matrix >= 0).all()
+
+    def test_leading_eigenvalue_is_one(self, msm):
+        result, _ = msm
+        eigenvalues = np.linalg.eigvals(result.transition_matrix)
+        assert np.max(np.abs(eigenvalues)) == pytest.approx(1.0, abs=1e-9)
+
+    def test_stationary_matches_occupancy(self, msm):
+        result, _ = msm
+        assert np.allclose(result.stationary, result.occupancy, atol=0.05)
+
+    def test_states_recover_ground_truth(self, msm):
+        result, truth = msm
+        # cluster labels match true states up to permutation
+        agreement = max(
+            (result.labels == truth).mean(),
+            (result.labels == 1 - truth).mean(),
+        )
+        assert agreement > 0.95
+
+    def test_metastability_gives_long_timescale(self, msm):
+        result, _ = msm
+        # switching every ~50 frames -> slowest implied timescale >> lag
+        assert result.implied_timescales.max() > 5
+
+    def test_diagonal_dominance_for_metastable_system(self, msm):
+        result, _ = msm
+        t = result.transition_matrix
+        assert (np.diag(t) > 0.8).all()
+
+    def test_validate_catches_bad_matrix(self, msm):
+        result, _ = msm
+        broken = MsmResult(
+            n_states=2,
+            transition_matrix=np.array([[0.5, 0.4], [0.5, 0.5]]),
+            stationary=result.stationary,
+            occupancy=result.occupancy,
+            implied_timescales=result.implied_timescales,
+            labels=result.labels,
+        )
+        with pytest.raises(ConfigurationError):
+            broken.validate()
+
+    def test_short_trajectory_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrajectoryAnalysis(n_states=4).run(np.zeros((8, 4)))
+
+    def test_bad_lag_rejected(self):
+        frames, _ = two_state_toy_trajectory(n_frames=100, seed=0)
+        with pytest.raises(ConfigurationError):
+            TrajectoryAnalysis(n_states=2).run(frames, lag=0)
+
+    def test_md_trajectory_end_to_end(self):
+        """The full pipeline on a real MD trajectory (frames from the
+        Lennard-Jones engine), as the Biology projects run it."""
+        from repro.science.md import LennardJonesMD, lattice_state
+
+        md = LennardJonesMD(
+            lattice_state(4, density=0.4, temperature=0.5, seed=7), dt=0.002
+        )
+        frames = md.sample_trajectory(
+            60, steps_per_frame=5, temperature=0.6, seed=7
+        )
+        result = TrajectoryAnalysis(n_components=3, n_states=3, seed=7).run(
+            frames, lag=1
+        )
+        result.validate()
+        assert result.labels.shape == (60,)

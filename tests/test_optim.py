@@ -1,0 +1,204 @@
+"""Tests for the numpy optimizers (SGD, Adam, LARS, LAMB, LARC, schedules)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.optim import LAMB, LARC, LARS, SGD, Adam, LinearScalingRule, WarmupSchedule
+from repro.optim.base import trust_ratio
+
+
+def quadratic_descent(optimizer, steps=200, dim=8, seed=0):
+    """Minimise ||w - target||^2; return (initial, final) loss."""
+    rng = np.random.default_rng(seed)
+    target = rng.normal(size=dim)
+    w = [rng.normal(size=dim) + 3.0]
+
+    def loss():
+        return float(((w[0] - target) ** 2).sum())
+
+    initial = loss()
+    for _ in range(steps):
+        grad = [2.0 * (w[0] - target)]
+        optimizer.step(w, grad)
+    return initial, loss()
+
+
+ALL_OPTIMIZERS = [
+    lambda: SGD(lr=0.05),
+    lambda: SGD(lr=0.02, momentum=0.9),
+    lambda: Adam(lr=0.1),
+    lambda: LARS(lr=1.0, eta=0.05),
+    lambda: LAMB(lr=0.05),
+    lambda: LARC(lr=0.05, eta=0.1),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_OPTIMIZERS)
+def test_optimizer_minimises_quadratic(factory):
+    initial, final = quadratic_descent(factory())
+    assert final < initial * 0.01
+
+
+@pytest.mark.parametrize("factory", ALL_OPTIMIZERS)
+def test_optimizer_rejects_shape_mismatch(factory):
+    opt = factory()
+    with pytest.raises(ConfigurationError):
+        opt.step([np.zeros(3)], [np.zeros(4)])
+
+
+@pytest.mark.parametrize("factory", ALL_OPTIMIZERS)
+def test_optimizer_rejects_count_mismatch(factory):
+    opt = factory()
+    with pytest.raises(ConfigurationError):
+        opt.step([np.zeros(3)], [np.zeros(3), np.zeros(3)])
+
+
+class TestSGD:
+    def test_plain_update(self):
+        w = [np.array([1.0, 2.0])]
+        SGD(lr=0.5).step(w, [np.array([1.0, 1.0])])
+        assert w[0].tolist() == [0.5, 1.5]
+
+    def test_momentum_accumulates(self):
+        opt = SGD(lr=1.0, momentum=0.5)
+        w = [np.zeros(1)]
+        g = [np.ones(1)]
+        opt.step(w, g)  # v=1, w=-1
+        opt.step(w, g)  # v=1.5, w=-2.5
+        assert w[0][0] == pytest.approx(-2.5)
+
+    def test_weight_decay_shrinks_weights(self):
+        opt = SGD(lr=0.1, weight_decay=0.1)
+        w = [np.ones(4)]
+        opt.step(w, [np.zeros(4)])
+        assert (w[0] < 1.0).all()
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ConfigurationError):
+            SGD(lr=0.1, momentum=1.0)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ConfigurationError):
+            SGD(lr=0.0)
+
+
+class TestAdam:
+    def test_first_step_size_about_lr(self):
+        # Bias correction makes the first Adam step ~lr regardless of scale
+        for scale in (1e-3, 1.0, 1e3):
+            opt = Adam(lr=0.1)
+            w = [np.zeros(1)]
+            opt.step(w, [np.full(1, scale)])
+            assert abs(w[0][0]) == pytest.approx(0.1, rel=1e-3)
+
+    def test_state_matches_params(self):
+        opt = Adam(lr=0.1)
+        w = [np.zeros(3), np.zeros((2, 2))]
+        opt.step(w, [np.ones(3), np.ones((2, 2))])
+        assert opt._m[1].shape == (2, 2)
+
+
+class TestTrustRatio:
+    def test_unit_ratio_for_zero_weight(self):
+        assert trust_ratio(np.zeros(3), np.ones(3)) == 1.0
+
+    def test_unit_ratio_for_zero_update(self):
+        assert trust_ratio(np.ones(3), np.zeros(3)) == 1.0
+
+    def test_ratio_value(self):
+        assert trust_ratio(np.array([3.0, 4.0]), np.array([0.0, 1.0])) == 5.0
+
+    @given(st.floats(min_value=0.01, max_value=100))
+    def test_scale_invariance_of_direction(self, scale):
+        w = np.array([1.0, 2.0])
+        g = np.array([0.5, -0.5])
+        assert trust_ratio(w, g * scale) == pytest.approx(
+            trust_ratio(w, g) / scale
+        )
+
+
+class TestLARS:
+    def test_layerwise_normalisation(self):
+        """Layers with wildly different gradient scales move proportionally
+        to their own weight norms — the property that makes large-batch
+        training stable."""
+        opt = LARS(lr=1.0, momentum=0.0, eta=0.01)
+        w = [np.full(4, 1.0), np.full(4, 1.0)]
+        grads = [np.full(4, 1e-6), np.full(4, 1e3)]
+        before = [x.copy() for x in w]
+        opt.step(w, grads)
+        steps = [np.abs(a - b).max() for a, b in zip(w, before)]
+        assert steps[0] == pytest.approx(steps[1], rel=1e-6)
+
+
+class TestLAMB:
+    def test_trust_ratio_clipped(self):
+        opt = LAMB(lr=0.1, clip=1.0, weight_decay=0.0)
+        w = [np.full(4, 1e6)]  # enormous weight norm -> unclipped ratio huge
+        opt.step(w, [np.full(4, 1.0)])
+        # step magnitude is bounded by lr * clip * |adam direction| ~ 0.1
+        assert np.abs(w[0] - 1e6).max() <= 0.1 + 1e-9
+
+
+class TestLARC:
+    def test_effective_lr_never_exceeds_global(self):
+        """LARC clips the local rate at the global lr (Kurth et al.'s
+        'LARC learning rate control')."""
+        opt = LARC(lr=0.01, momentum=0.0, eta=10.0)
+        w = [np.full(4, 100.0)]  # trust ratio would be huge
+        g = [np.full(4, 1.0)]
+        opt.step(w, g)
+        assert np.abs(w[0] - 100.0).max() <= 0.01 + 1e-12
+
+
+class TestSchedules:
+    def test_linear_scaling_rule(self):
+        rule = LinearScalingRule(base_lr=0.1, base_batch=256)
+        assert rule.lr_for_batch(8192) == pytest.approx(3.2)
+
+    def test_linear_scaling_cap(self):
+        rule = LinearScalingRule(base_lr=0.1, base_batch=256, max_lr=1.0)
+        assert rule.lr_for_batch(2**20) == 1.0
+
+    def test_warmup_ramps_linearly(self):
+        sched = WarmupSchedule(peak_lr=1.0, warmup_steps=10, total_steps=100)
+        assert sched.lr(0) == pytest.approx(0.1)
+        assert sched.lr(9) == pytest.approx(1.0)
+
+    def test_cosine_decays_to_final(self):
+        sched = WarmupSchedule(
+            peak_lr=1.0, warmup_steps=0, total_steps=100, decay="cosine",
+            final_lr=0.1,
+        )
+        assert sched.lr(100) == pytest.approx(0.1)
+
+    def test_constant_after_warmup(self):
+        sched = WarmupSchedule(
+            peak_lr=0.5, warmup_steps=5, total_steps=50, decay="constant"
+        )
+        assert sched.lr(30) == 0.5
+
+    def test_linear_decay_midpoint(self):
+        sched = WarmupSchedule(
+            peak_lr=1.0, warmup_steps=0, total_steps=100, decay="linear"
+        )
+        assert sched.lr(50) == pytest.approx(0.5)
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigurationError):
+            WarmupSchedule(peak_lr=1.0, warmup_steps=100, total_steps=100)
+        with pytest.raises(ConfigurationError):
+            WarmupSchedule(peak_lr=1.0, warmup_steps=0, total_steps=10,
+                           decay="step")
+        with pytest.raises(ConfigurationError):
+            LinearScalingRule(base_lr=0.1, base_batch=0)
+
+    @settings(max_examples=50)
+    @given(st.integers(min_value=0, max_value=200))
+    def test_warmup_schedule_bounded(self, step):
+        sched = WarmupSchedule(peak_lr=1.0, warmup_steps=20, total_steps=200,
+                               final_lr=0.0)
+        assert 0.0 <= sched.lr(step) <= 1.0

@@ -1,0 +1,199 @@
+"""Tests for the discrete-event engine, resources and tracing."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine, Process, Resource, Timeout, Trace
+
+
+class TestTimeout:
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+
+class TestEngine:
+    def test_single_process_advances_clock(self):
+        eng = Engine()
+
+        def job():
+            yield Timeout(2.5)
+            return "done"
+
+        proc = eng.spawn(job())
+        eng.run()
+        assert proc.finished
+        assert proc.result == "done"
+        assert eng.now == 2.5
+
+    def test_parallel_processes_overlap(self):
+        eng = Engine()
+
+        def job(d):
+            yield Timeout(d)
+
+        eng.spawn(job(3.0))
+        eng.spawn(job(5.0))
+        eng.run()
+        assert eng.now == 5.0
+
+    def test_child_process_result_propagates(self):
+        eng = Engine()
+
+        def child():
+            yield Timeout(1.0)
+            return 42
+
+        def parent():
+            value = yield eng.spawn(child())
+            yield Timeout(1.0)
+            return value * 2
+
+        proc = eng.spawn(parent())
+        eng.run()
+        assert proc.result == 84
+        assert eng.now == 2.0
+
+    def test_waiting_on_finished_child_is_instant(self):
+        eng = Engine()
+
+        def child():
+            yield Timeout(1.0)
+            return "x"
+
+        child_proc = eng.spawn(child())
+
+        def parent():
+            yield Timeout(5.0)
+            value = yield child_proc
+            return value
+
+        proc = eng.spawn(parent())
+        eng.run()
+        assert proc.result == "x"
+        assert eng.now == 5.0
+
+    def test_run_until_pauses_clock(self):
+        eng = Engine()
+
+        def job():
+            yield Timeout(10.0)
+
+        eng.spawn(job())
+        eng.run(until=4.0)
+        assert eng.now == 4.0
+        eng.run()
+        assert eng.now == 10.0
+
+    def test_simultaneous_events_fire_in_spawn_order(self):
+        eng = Engine()
+        order = []
+
+        def job(tag):
+            yield Timeout(1.0)
+            order.append(tag)
+
+        eng.spawn(job("a"))
+        eng.spawn(job("b"))
+        eng.run()
+        assert order == ["a", "b"]
+
+    def test_bad_yield_raises(self):
+        eng = Engine()
+
+        def job():
+            yield "not an effect"
+
+        eng.spawn(job())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_process_records_finish_time(self):
+        eng = Engine()
+
+        def job():
+            yield Timeout(3.0)
+
+        proc = eng.spawn(job())
+        eng.run()
+        assert proc.finished_at == 3.0
+
+
+class TestResource:
+    def test_acquire_release(self):
+        eng = Engine()
+        pool = Resource(eng, capacity=2)
+        held = []
+
+        def job(tag):
+            yield pool.acquire(1)
+            held.append(tag)
+            yield Timeout(1.0)
+            pool.release(1)
+
+        for tag in ("a", "b", "c"):
+            eng.spawn(job(tag))
+        eng.run()
+        assert held == ["a", "b", "c"]
+        assert eng.now == 2.0  # two run concurrently, the third waits
+        assert pool.in_use == 0
+
+    def test_fifo_ordering_prevents_starvation(self):
+        eng = Engine()
+        pool = Resource(eng, capacity=4)
+        starts = {}
+
+        def wide():
+            yield pool.acquire(4)
+            starts["wide"] = eng.now
+            yield Timeout(1.0)
+            pool.release(4)
+
+        def narrow(tag):
+            yield pool.acquire(1)
+            starts[tag] = eng.now
+            yield Timeout(1.0)
+            pool.release(1)
+
+        def holder():
+            yield pool.acquire(2)
+            yield Timeout(1.0)
+            pool.release(2)
+
+        eng.spawn(holder())
+        eng.spawn(wide())       # must wait for the holder
+        eng.spawn(narrow("n"))  # would fit now, but queues behind wide
+        eng.run()
+        assert starts["wide"] == 1.0
+        assert starts["n"] >= starts["wide"]
+
+    def test_over_capacity_request_rejected(self):
+        eng = Engine()
+        pool = Resource(eng, capacity=2)
+        with pytest.raises(SimulationError):
+            pool.acquire(3)
+
+    def test_bad_release_rejected(self):
+        eng = Engine()
+        pool = Resource(eng, capacity=2)
+        with pytest.raises(SimulationError):
+            pool.release(1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Resource(Engine(), capacity=0)
+
+
+class TestTrace:
+    def test_record_and_query(self):
+        trace = Trace()
+        trace.record(0.0, "start", "a")
+        trace.record(1.0, "end", "a", 1.0)
+        trace.record(2.0, "end", "b", 2.0)
+        assert trace.count("end") == 2
+        assert len(trace.by_category("start")) == 1
+        assert trace.span() == 2.0
+        assert trace.busy_time("end") == 3.0
+
+    def test_empty_trace_span_zero(self):
+        assert Trace().span() == 0.0

@@ -1,0 +1,94 @@
+"""Tests for repro.units."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestConstants:
+    def test_decimal_prefixes(self):
+        assert units.KB == 1e3
+        assert units.MB == 1e6
+        assert units.GB == 1e9
+        assert units.TB == 1e12
+        assert units.PB == 1e15
+
+    def test_binary_prefixes(self):
+        assert units.KIB == 1024
+        assert units.GIB == 1024**3
+
+    def test_flops_aliases(self):
+        assert units.TFLOPS == units.TERA
+        assert units.EFLOPS == 1e18
+
+    def test_time_units(self):
+        assert units.MS == 1e-3
+        assert units.HOUR == 3600.0
+
+
+class TestFormatBytes:
+    def test_gigabytes(self):
+        assert units.format_bytes(1.4e9) == "1.40 GB"
+
+    def test_megabytes(self):
+        assert units.format_bytes(100e6) == "100.00 MB"
+
+    def test_small_values(self):
+        assert units.format_bytes(12.0) == "12.00 B"
+
+    def test_exabytes(self):
+        assert units.format_bytes(2e18) == "2.00 EB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.format_bytes(-1)
+
+
+class TestFormatRate:
+    def test_terabytes_per_second(self):
+        assert units.format_rate(2.5e12) == "2.50 TB/s"
+
+    def test_gigabytes_per_second(self):
+        assert units.format_rate(25e9) == "25.00 GB/s"
+
+
+class TestFormatFlops:
+    def test_exaflops(self):
+        assert units.format_flops(1.13e18) == "1.13 EFLOP/s"
+
+    def test_petaflops(self):
+        assert units.format_flops(603e15) == "603.00 PFLOP/s"
+
+
+class TestFormatTime:
+    def test_milliseconds(self):
+        assert units.format_time(0.008) == "8.00 ms"
+
+    def test_microseconds(self):
+        assert units.format_time(1.5e-6) == "1.50 us"
+
+    def test_seconds(self):
+        assert units.format_time(2.5) == "2.50 s"
+
+    def test_minutes(self):
+        assert units.format_time(90) == "1.50 min"
+
+    def test_hours(self):
+        assert units.format_time(7200) == "2.00 h"
+
+    def test_zero(self):
+        assert units.format_time(0) == "0 s"
+
+
+@given(st.floats(min_value=0, max_value=1e21, allow_nan=False))
+def test_format_bytes_never_raises_on_nonnegative(value):
+    out = units.format_bytes(value)
+    assert out.endswith("B")
+
+
+@given(st.floats(min_value=1e-9, max_value=1e6, allow_nan=False))
+def test_format_time_always_has_unit(value):
+    out = units.format_time(value)
+    assert any(out.endswith(u) for u in ("us", "ms", " s", "min", " h"))
