@@ -17,7 +17,10 @@ scale — is the reproduction target; see EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.report import ResilienceReport
 
 from repro.errors import ConfigurationError
 from repro.machine.summit import summit
@@ -70,6 +73,52 @@ class ExtremeScaleApp:
             "breakdown": peak.breakdown(),
             "reported": self.reported,
         }
+
+    def resilience_report(
+        self,
+        n_nodes: int | None = None,
+        node_mtbf_seconds: float | None = None,
+        state_bytes_per_node: float | None = None,
+        tier: str = "nvme",
+        empirical: bool = True,
+        seed: int = 0,
+        system: System | None = None,
+    ) -> "ResilienceReport":
+        """Expected goodput at scale under failures and checkpointing.
+
+        Runs the training simulator for the raw rate, then derates it with
+        the Young/Daly model (and, when ``empirical``, the event-driven
+        checkpoint-restart simulation) at the job's width — the step-time
+        number the five scaling reproductions quote becomes a
+        time-to-solution number.
+        """
+        from repro.resilience.faults import DEFAULT_NODE_MTBF_SECONDS
+        from repro.training.goodput import (
+            DEFAULT_STATE_BYTES_PER_NODE,
+            GoodputModel,
+        )
+
+        nodes = n_nodes if n_nodes is not None else self.peak_nodes
+        job = self.job(nodes, system)
+        model = GoodputModel(
+            job=job,
+            node_mtbf_seconds=(
+                node_mtbf_seconds
+                if node_mtbf_seconds is not None
+                else DEFAULT_NODE_MTBF_SECONDS
+            ),
+            state_bytes_per_node=(
+                state_bytes_per_node
+                if state_bytes_per_node is not None
+                else DEFAULT_STATE_BYTES_PER_NODE
+            ),
+        )
+        return model.report(
+            name=f"{self.key} @ {nodes} nodes ({tier})",
+            tier=tier,
+            empirical=empirical,
+            seed=seed,
+        )
 
 
 def _app(key, citation, model_factory, plan, source, baseline, peak, reported):

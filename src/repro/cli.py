@@ -8,7 +8,9 @@ Commands mirror the paper's strands:
 - ``scaling``   — weak/strong scaling table for a catalog model;
 - ``apps``      — simulate the five Section IV-B applications;
 - ``survey``    — regenerate Figures 1-6 from the calibrated portfolio;
-- ``gordon-bell`` — print Table III and the AI finalist list.
+- ``gordon-bell`` — print Table III and the AI finalist list;
+- ``resilience`` — goodput under node failures and checkpoint-restart for a
+  Section IV-B application, with empirical Young/Daly validation.
 """
 
 from __future__ import annotations
@@ -84,6 +86,31 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    from repro.apps.extreme_scale import get_app
+
+    app = get_app(args.app)
+    nodes = args.nodes if args.nodes is not None else app.peak_nodes
+    report = app.resilience_report(
+        n_nodes=nodes,
+        node_mtbf_seconds=args.mtbf_years * 365 * 24 * 3600.0,
+        state_bytes_per_node=args.state_gb * 1e9,
+        tier=args.tier,
+        empirical=not args.analytic_only,
+        seed=args.seed,
+    )
+    print(report.format())
+    if not args.analytic_only:
+        agreement = report.agreement()
+        assert agreement is not None
+        print(
+            "empirical checkpoint+rework overhead "
+            f"{'matches' if report.matches_analytical() else 'DEVIATES FROM'} "
+            f"the Young/Daly optimum (rel. err {agreement:.1%}, tol 20%)"
+        )
+    return 0
+
+
 def _cmd_gordon_bell(args: argparse.Namespace) -> int:
     from repro.apps.registry import GORDON_BELL_FINALISTS, gordon_bell_table
 
@@ -144,6 +171,26 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("gordon-bell", help="Table III and AI finalists")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(fn=_cmd_gordon_bell)
+
+    from repro.apps.extreme_scale import EXTREME_SCALE_APPS
+
+    p = sub.add_parser(
+        "resilience",
+        help="goodput under node failures + checkpoint-restart",
+    )
+    p.add_argument("--app", choices=sorted(EXTREME_SCALE_APPS),
+                   default="laanait")
+    p.add_argument("--nodes", type=int, default=None,
+                   help="job width (default: the app's peak node count)")
+    p.add_argument("--mtbf-years", type=float, default=5.0,
+                   help="per-node MTBF in years")
+    p.add_argument("--state-gb", type=float, default=30.0,
+                   help="checkpoint payload per node in GB")
+    p.add_argument("--tier", choices=("nvme", "shared_fs"), default="nvme")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--analytic-only", action="store_true",
+                   help="skip the event-driven empirical simulation")
+    p.set_defaults(fn=_cmd_resilience)
 
     return parser
 

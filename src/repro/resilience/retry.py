@@ -1,0 +1,59 @@
+"""Retry policy: bounded attempts with exponential backoff and jitter.
+
+The policy the workflow executor and the batch scheduler share when a task
+or job dies under it. Backoff delays model the requeue-and-relaunch latency
+of a real facility (scheduler cycle, node drain, prolog); jitter decorrelates
+the retries of tasks killed by the same event so they do not stampede the
+queue in lockstep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a failed task is retried.
+
+    ``max_attempts`` counts total executions (first try included); delays
+    grow as ``backoff_base * backoff_factor**(attempt-1)`` capped at
+    ``backoff_max``, then scaled by a uniform ``1 ± jitter_fraction`` draw
+    when an RNG is supplied.
+    """
+
+    max_attempts: int = 4
+    backoff_base: float = 30.0
+    backoff_factor: float = 2.0
+    backoff_max: float = 3600.0
+    jitter_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ConfigurationError("backoff delays must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ConfigurationError("jitter_fraction must be in [0, 1)")
+
+    def delay(self, attempt: int, rng: np.random.Generator | None = None) -> float:
+        """Backoff before retry number ``attempt`` (1 = first retry)."""
+        if attempt < 1:
+            raise ConfigurationError("attempt must be >= 1")
+        base = min(
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+            self.backoff_max,
+        )
+        if rng is not None and self.jitter_fraction > 0:
+            base *= 1.0 + self.jitter_fraction * float(rng.uniform(-1.0, 1.0))
+        return base
+
+    def exhausted(self, attempts_made: int) -> bool:
+        """True once ``attempts_made`` executions have all failed."""
+        return attempts_made >= self.max_attempts

@@ -14,11 +14,13 @@ capability computing". This package models that machinery:
   metric, Section II-C).
 """
 
+from repro.scheduler.faults import FaultModel
 from repro.scheduler.jobs import Job, campaign_from_portfolio
 from repro.scheduler.policy import Policy
 from repro.scheduler.simulator import ScheduleResult, Scheduler
 
 __all__ = [
+    "FaultModel",
     "Job",
     "Policy",
     "ScheduleResult",

@@ -5,6 +5,14 @@ A simple but faithful space-sharing model: the machine is a pool of
 queue is reordered by the policy and jobs are started in order, with
 conservative backfill (a job may jump ahead only if it fits in the
 currently idle nodes AND would finish before the queue head could start).
+
+With a :class:`~repro.scheduler.faults.FaultModel`, running jobs die at
+exponential times drawn from the job-wide MTBF (per-node MTBF divided by
+the job's width); a dead job is requeued — resuming from its last
+checkpoint when the model checkpoints, restarting cold otherwise — and the
+work between checkpoint and failure is charged to ``lost_node_hours``.
+Without a fault model the code path, and every reported number, is
+identical to the fault-free simulator.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ import heapq
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.scheduler.faults import FaultModel
 from repro.scheduler.jobs import Job
 from repro.scheduler.policy import Policy, priority_key
 
@@ -30,6 +39,10 @@ class ScheduleResult:
     ai_node_hours: float
     start_times: dict[str, float]
     end_times: dict[str, float]
+    n_failures: int = 0
+    n_requeues: int = 0
+    lost_node_hours: float = 0.0
+    abandoned: tuple[str, ...] = ()
 
     @property
     def ai_share(self) -> float:
@@ -38,6 +51,14 @@ class ScheduleResult:
         if self.delivered_node_hours == 0:
             return 0.0
         return self.ai_node_hours / self.delivered_node_hours
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Useful node-hours over useful + lost — 1.0 on a fault-free run."""
+        total = self.delivered_node_hours + self.lost_node_hours
+        if total == 0:
+            return 1.0
+        return self.delivered_node_hours / total
 
 
 class Scheduler:
@@ -49,7 +70,7 @@ class Scheduler:
         self.n_nodes = n_nodes
         self.policy = policy
 
-    def run(self, jobs: list[Job]) -> ScheduleResult:
+    def run(self, jobs: list[Job], faults: FaultModel | None = None) -> ScheduleResult:
         if not jobs:
             raise ConfigurationError("no jobs to schedule")
         for job in jobs:
@@ -59,17 +80,52 @@ class Scheduler:
                     f"{self.n_nodes}"
                 )
 
+        rng = faults.rng() if faults is not None else None
+        remaining = {job.job_id: job.duration for job in jobs}
+        requeues = {job.job_id: 0 for job in jobs}
+        abandoned: list[str] = []
+        n_failures = 0
+        lost_node_seconds = 0.0
+        occupied_node_seconds = 0.0
+
         pending = sorted(jobs, key=lambda j: j.submit_time)
         queue: list[Job] = []
-        running: list[tuple[float, int, Job]] = []  # (end_time, seq, job)
+        # (end_time, seq, job); fault mode resolves seq -> execution details
+        running: list[tuple[float, int, Job]] = []
+        executions: dict[int, tuple[float, bool]] = {}  # seq -> (run_s, failed)
         seq = 0
         idle = self.n_nodes
         now = 0.0
         starts: dict[str, float] = {}
         ends: dict[str, float] = {}
 
-        def try_start() -> None:
+        def launch(job: Job) -> None:
+            """Start (or restart) a job; in fault mode, pre-draw its fate."""
             nonlocal idle, seq
+            self._start(job, now, starts)
+            if faults is None:
+                heapq.heappush(running, (now + job.duration, seq, job))
+            else:
+                left = remaining[job.job_id]
+                assert rng is not None
+                t_fail = float(
+                    rng.exponential(faults.node_mtbf_seconds / job.nodes)
+                )
+                if t_fail < left:
+                    executions[seq] = (t_fail, True)
+                    heapq.heappush(running, (now + t_fail, seq, job))
+                else:
+                    executions[seq] = (left, False)
+                    heapq.heappush(running, (now + left, seq, job))
+            seq += 1
+            idle -= job.nodes
+
+        def planned_run(job: Job) -> float:
+            """Run length the backfill window should assume for ``job``."""
+            return job.duration if faults is None else remaining[job.job_id]
+
+        def try_start() -> None:
+            nonlocal idle
             queue.sort(key=lambda j: priority_key(self.policy, j, now))
             started = True
             while started:
@@ -79,10 +135,7 @@ class Scheduler:
                 head = queue[0]
                 if head.nodes <= idle:
                     queue.pop(0)
-                    self._start(head, now, starts)
-                    heapq.heappush(running, (now + head.duration, seq, head))
-                    seq += 1
-                    idle -= head.nodes
+                    launch(head)
                     started = True
                     continue
                 # conservative backfill: when could the head start?
@@ -97,15 +150,10 @@ class Scheduler:
                 for candidate in list(queue[1:]):
                     if (
                         candidate.nodes <= idle
-                        and now + candidate.duration <= head_start
+                        and now + planned_run(candidate) <= head_start
                     ):
                         queue.remove(candidate)
-                        self._start(candidate, now, starts)
-                        heapq.heappush(
-                            running, (now + candidate.duration, seq, candidate)
-                        )
-                        seq += 1
-                        idle -= candidate.nodes
+                        launch(candidate)
                         started = True
 
         while pending or queue or running:
@@ -118,23 +166,58 @@ class Scheduler:
             while pending and pending[0].submit_time <= now:
                 queue.append(pending.pop(0))
             while running and running[0][0] <= now:
-                _, _, job = heapq.heappop(running)
-                ends[job.job_id] = now
+                _, done_seq, job = heapq.heappop(running)
                 idle += job.nodes
+                if faults is None:
+                    ends[job.job_id] = now
+                    continue
+                run_seconds, failed = executions.pop(done_seq)
+                occupied_node_seconds += run_seconds * job.nodes
+                if not failed:
+                    remaining[job.job_id] = 0.0
+                    ends[job.job_id] = now
+                    continue
+                n_failures += 1
+                committed = min(
+                    faults.committed_before(run_seconds),
+                    remaining[job.job_id],
+                )
+                remaining[job.job_id] -= committed
+                lost_node_seconds += (run_seconds - committed) * job.nodes
+                if requeues[job.job_id] >= faults.max_requeues:
+                    abandoned.append(job.job_id)
+                    ends[job.job_id] = now
+                else:
+                    requeues[job.job_id] += 1
+                    queue.append(job)
             try_start()
 
         makespan = max(ends.values())
-        busy = sum(j.node_seconds for j in jobs)
         waits = [starts[j.job_id] - j.submit_time for j in jobs]
         wide_waits = [
             starts[j.job_id] - j.submit_time
             for j in jobs
             if j.nodes >= 0.2 * self.n_nodes
         ]
-        ai_seconds = sum(j.node_seconds for j in jobs if j.uses_ai)
+        if faults is None:
+            busy = sum(j.node_seconds for j in jobs)
+            ai_seconds = sum(j.node_seconds for j in jobs if j.uses_ai)
+            utilization = busy / (self.n_nodes * makespan)
+        else:
+            # delivered = useful work committed or completed; occupied adds
+            # the wall-clock later rolled back by failures
+            busy = sum(
+                (j.duration - remaining[j.job_id]) * j.nodes for j in jobs
+            )
+            ai_seconds = sum(
+                (j.duration - remaining[j.job_id]) * j.nodes
+                for j in jobs
+                if j.uses_ai
+            )
+            utilization = occupied_node_seconds / (self.n_nodes * makespan)
         return ScheduleResult(
             makespan=makespan,
-            utilization=busy / (self.n_nodes * makespan),
+            utilization=utilization,
             mean_wait=sum(waits) / len(waits),
             max_wait=max(waits),
             mean_wait_wide=(
@@ -144,10 +227,14 @@ class Scheduler:
             ai_node_hours=ai_seconds / 3600.0,
             start_times=starts,
             end_times=ends,
+            n_failures=n_failures,
+            n_requeues=sum(requeues.values()),
+            lost_node_hours=lost_node_seconds / 3600.0,
+            abandoned=tuple(abandoned),
         )
 
     @staticmethod
     def _start(job: Job, now: float, starts: dict[str, float]) -> None:
         if now < job.submit_time:
             raise AssertionError("job started before submission")
-        starts[job.job_id] = now
+        starts.setdefault(job.job_id, now)

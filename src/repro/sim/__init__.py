@@ -7,8 +7,16 @@ enough to express job queues, staged pipelines and coupled simulation loops
 without pulling in an external simulation framework.
 """
 
-from repro.sim.engine import Engine, Process, Timeout
+from repro.sim.engine import Engine, Interrupt, Process, Timeout
 from repro.sim.resources import Resource
 from repro.sim.trace import Trace, TraceEvent
 
-__all__ = ["Engine", "Process", "Resource", "Timeout", "Trace", "TraceEvent"]
+__all__ = [
+    "Engine",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "Timeout",
+    "Trace",
+    "TraceEvent",
+]

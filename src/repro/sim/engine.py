@@ -9,6 +9,15 @@ A *process* is a Python generator that yields effects:
 
 The engine is deterministic: simultaneous events fire in creation order.
 
+Processes are *interruptible*: :meth:`Process.interrupt` throws an
+:class:`Interrupt` into the generator at its current wait point, whether it
+is sleeping in a ``Timeout``, waiting on a child process, or queued for a
+resource. This is how node failures reach the work running on the failed
+nodes (see :mod:`repro.resilience`): the victim catches the ``Interrupt``,
+rolls back to its last checkpoint, and resumes. A process that does not
+catch the ``Interrupt`` is killed (``proc.killed`` is set and waiters are
+woken with ``None``).
+
 Example
 -------
 >>> eng = Engine()
@@ -45,6 +54,28 @@ class Timeout:
             raise SimulationError(f"negative timeout: {self.delay}")
 
 
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries arbitrary context (e.g. the failure event that killed
+    the process's nodes). Catch it at the yield point to implement
+    checkpoint-restart; let it propagate to have the engine kill the process.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class _Throw:
+    """Internal send-value marker: deliver by ``gen.throw`` not ``gen.send``."""
+
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: BaseException):
+        self.exc = exc
+
+
 class Process:
     """A running simulated process wrapping a generator."""
 
@@ -53,10 +84,20 @@ class Process:
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
         self.finished = False
+        self.killed = False  # finished via an uncaught Interrupt
         self.result: Any = None
         self.started_at = engine.now
         self.finished_at: float | None = None
         self._waiters: list[Process] = []
+        self._epoch = 0  # bumped on interrupt; stale heap entries are skipped
+        self._waiting_on: Any = None  # Process | resource request | None
+
+    def interrupt(self, cause: Any = None) -> bool:
+        """Throw :class:`Interrupt` into this process at its current wait.
+
+        Returns ``False`` (and does nothing) if the process already finished.
+        """
+        return self.engine._interrupt(self, cause)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "finished" if self.finished else "running"
@@ -64,11 +105,11 @@ class Process:
 
 
 class Engine:
-    """The event loop: a heap of (time, seq, process, value_to_send)."""
+    """The event loop: a heap of (time, seq, epoch, process, value_to_send)."""
 
     def __init__(self):
         self.now = 0.0
-        self._heap: list[tuple[float, int, Process, Any]] = []
+        self._heap: list[tuple[float, int, int, Process, Any]] = []
         self._seq = itertools.count()
         self._active = 0
 
@@ -80,12 +121,17 @@ class Engine:
         return proc
 
     def _schedule(self, when: float, proc: Process, send_value: Any) -> None:
-        heapq.heappush(self._heap, (when, next(self._seq), proc, send_value))
+        heapq.heappush(
+            self._heap, (when, next(self._seq), proc._epoch, proc, send_value)
+        )
 
     def run(self, until: float | None = None) -> None:
         """Run until no events remain, or simulated time would pass ``until``."""
         while self._heap:
-            when, _, proc, send_value = self._heap[0]
+            when, _, epoch, proc, send_value = self._heap[0]
+            if epoch != proc._epoch:  # cancelled by an interrupt
+                heapq.heappop(self._heap)
+                continue
             if until is not None and when > until:
                 self.now = until
                 return
@@ -100,10 +146,19 @@ class Engine:
     def _step(self, proc: Process, send_value: Any) -> None:
         if proc.finished:
             raise SimulationError(f"stepping finished process {proc.name}")
+        proc._waiting_on = None
         try:
-            effect = proc.gen.send(send_value)
+            if isinstance(send_value, _Throw):
+                effect = proc.gen.throw(send_value.exc)
+            else:
+                effect = proc.gen.send(send_value)
         except StopIteration as stop:
             self._finish(proc, stop.value)
+            return
+        except Interrupt:
+            # the process chose not to handle the interrupt: kill it
+            proc.killed = True
+            self._finish(proc, None)
             return
         self._dispatch(proc, effect)
 
@@ -114,8 +169,10 @@ class Engine:
             if effect.finished:
                 self._schedule(self.now, proc, effect.result)
             else:
+                proc._waiting_on = effect
                 effect._waiters.append(proc)
         elif hasattr(effect, "_bind_waiter"):  # resource requests
+            proc._waiting_on = effect
             effect._bind_waiter(proc)
         else:
             raise SimulationError(f"process {proc.name} yielded {effect!r}")
@@ -126,8 +183,24 @@ class Engine:
         proc.finished_at = self.now
         self._active -= 1
         for waiter in proc._waiters:
+            waiter._waiting_on = None
             self._schedule(self.now, waiter, result)
         proc._waiters.clear()
+
+    def _interrupt(self, proc: Process, cause: Any) -> bool:
+        if proc.finished:
+            return False
+        # detach from whatever the process is waiting on
+        waiting_on = proc._waiting_on
+        if isinstance(waiting_on, Process):
+            if proc in waiting_on._waiters:
+                waiting_on._waiters.remove(proc)
+        elif waiting_on is not None and hasattr(waiting_on, "_cancel"):
+            waiting_on._cancel(proc)
+        proc._waiting_on = None
+        proc._epoch += 1  # invalidate any pending heap entry for this process
+        self._schedule(self.now, proc, _Throw(Interrupt(cause)))
+        return True
 
     # Resources use this to resume a blocked process.
     def _resume(self, proc: Process, value: Any) -> None:

@@ -23,6 +23,10 @@ class _AcquireRequest:
     def _bind_waiter(self, proc: Process) -> None:
         self.resource._enqueue(self, proc)
 
+    def _cancel(self, proc: Process) -> None:
+        """Withdraw this request (the waiter was interrupted while queued)."""
+        self.resource._dequeue(proc)
+
 
 class Resource:
     """A counted capacity pool tied to an :class:`Engine`.
@@ -66,6 +70,13 @@ class Resource:
 
     def _enqueue(self, request: _AcquireRequest, proc: Process) -> None:
         self._queue.append((request, proc))
+        self._drain()
+
+    def _dequeue(self, proc: Process) -> None:
+        """Drop ``proc``'s queued request; a removed head may unblock others."""
+        self._queue = deque(
+            (req, waiter) for req, waiter in self._queue if waiter is not proc
+        )
         self._drain()
 
     def _drain(self) -> None:

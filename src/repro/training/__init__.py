@@ -19,6 +19,7 @@ from repro.training.convergence import (
     steps_to_target,
     time_to_solution,
 )
+from repro.training.goodput import GoodputModel
 from repro.training.job import TrainingJob
 from repro.training.parallelism import DataSource, ParallelismPlan
 from repro.training.scaling import ScalingPoint, ScalingStudy
@@ -26,6 +27,7 @@ from repro.training.step_time import StepBreakdown, step_breakdown
 
 __all__ = [
     "DataSource",
+    "GoodputModel",
     "OPTIMIZER_CRITICAL_BATCH_FACTOR",
     "ParallelismPlan",
     "ScalingPoint",

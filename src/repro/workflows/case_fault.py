@@ -89,7 +89,11 @@ class FaultDetectionWorkflow:
         self.detector = Autoencoder(5, 2, hidden=[8], seed=self.seed)
         self.detector.fit(normalised, epochs=epochs, seed=self.seed)
         scores = self.detector.reconstruction_error(normalised)
-        self._threshold = float(scores.mean() + self.threshold_sigma * scores.std())
+        # floor the spread: when the AE fits the healthy data almost exactly
+        # the score std collapses toward zero and the threshold degenerates
+        # to the mean, alarming on every frame
+        spread = max(float(scores.std()), 0.1 * float(scores.mean()), 1e-12)
+        self._threshold = float(scores.mean() + self.threshold_sigma * spread)
         return self._threshold
 
     def _score(self) -> float:
@@ -137,10 +141,16 @@ class FaultDetectionWorkflow:
                     detected += 1
                 else:
                     false_alarms += 1
-                # remediation: roll back to the last healthy snapshot
+                # remediation: roll back to the last healthy snapshot, then
+                # re-anchor the snapshot at the restored frame — otherwise a
+                # run of false alarms keeps replaying ever-older state
                 self.md.state.positions[...] = healthy_snapshot[0]
                 self.md.state.velocities[...] = healthy_snapshot[1]
                 self.md._forces = self.md._compute_forces()
+                healthy_snapshot = (
+                    self.md.state.positions.copy(),
+                    self.md.state.velocities.copy(),
+                )
                 rollbacks += 1
                 fault_live = False
             elif not fault_live:

@@ -4,13 +4,24 @@ Plays the role Balsam and RAPTOR play in the paper's workflows: declare
 tasks with durations, node requirements, facility placement and
 dependencies; execute them with correct resource contention; read off the
 makespan, per-facility utilisation and the critical path.
+
+Tasks may additionally carry failure semantics (``failure_rate``,
+``checkpoint_interval``/``checkpoint_write_time``): the executor then
+retries failed attempts under a :class:`~repro.resilience.retry.RetryPolicy`
+(releasing the nodes during backoff, as a real requeue does) and resumes
+from the last committed checkpoint instead of restarting cold. With every
+``failure_rate`` at zero the execution path — and every timestamp — is
+identical to the fault-free executor.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.resilience.retry import RetryPolicy
 from repro.sim.engine import Engine, Timeout
 from repro.sim.resources import Resource
 from repro.sim.trace import Trace
@@ -23,6 +34,12 @@ class Task:
 
     ``duration`` is reference-machine seconds (rescaled by the facility's
     speed); ``nodes`` are acquired from the facility for the task's span.
+
+    ``failure_rate`` is the expected number of failures per wall-clock
+    second while the task runs (0 = never fails). ``checkpoint_interval``
+    (wall-clock seconds on the placed facility, ``None`` = no checkpoints)
+    commits progress every interval at a cost of ``checkpoint_write_time``
+    seconds per write; a failed attempt then resumes from the last commit.
     """
 
     name: str
@@ -30,22 +47,49 @@ class Task:
     facility: str
     nodes: int = 1
     deps: tuple[str, ...] = ()
+    failure_rate: float = 0.0
+    checkpoint_interval: float | None = None
+    checkpoint_write_time: float = 0.0
 
     def __post_init__(self) -> None:
         if self.duration < 0:
             raise ConfigurationError(f"{self.name}: negative duration")
         if self.nodes < 1:
             raise ConfigurationError(f"{self.name}: need at least one node")
+        if self.failure_rate < 0:
+            raise ConfigurationError(f"{self.name}: negative failure rate")
+        if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
+            raise ConfigurationError(
+                f"{self.name}: checkpoint interval must be positive"
+            )
+        if self.checkpoint_write_time < 0:
+            raise ConfigurationError(
+                f"{self.name}: negative checkpoint write time"
+            )
 
 
 @dataclass
 class WorkflowRun:
-    """Results of executing a task graph."""
+    """Results of executing a task graph.
+
+    The resilience fields stay at their zero defaults when no task carries a
+    ``failure_rate`` — an injection-free run is indistinguishable from the
+    seed executor's output.
+    """
 
     makespan: float
     start_times: dict[str, float]
     end_times: dict[str, float]
     trace: Trace = field(default_factory=Trace)
+    attempts: dict[str, int] = field(default_factory=dict)
+    n_failures: int = 0
+    lost_seconds: float = 0.0
+    checkpoint_seconds: float = 0.0
+
+    @property
+    def n_retries(self) -> int:
+        """Executions beyond each task's first attempt."""
+        return sum(max(0, a - 1) for a in self.attempts.values())
 
     def critical_path(self, graph: "TaskGraph") -> list[str]:
         """Chain of tasks ending at the latest finisher, following the
@@ -69,6 +113,44 @@ class WorkflowRun:
             span = self.end_times[name] - self.start_times[name]
             out[task.facility] = out.get(task.facility, 0.0) + span * task.nodes
         return out
+
+
+def _attempt_timeline(
+    left: float,
+    interval: float | None,
+    write_time: float,
+    t_fail: float,
+) -> tuple[float, float, int, bool]:
+    """Timeline of one execution attempt, resolved analytically.
+
+    ``left`` seconds of useful work remain; a failure strikes ``t_fail``
+    wall-clock seconds into the attempt (infinity-like values mean never).
+    Returns ``(wall, gained, writes, completed)``: the wall-clock the
+    attempt held its nodes, the useful seconds newly committed, the number
+    of completed checkpoint writes, and whether the task finished. Work
+    since the last committed checkpoint — including a checkpoint write cut
+    short by the failure — is lost.
+    """
+    if interval is None:
+        # no checkpoints: all-or-nothing
+        if t_fail >= left:
+            return left, left, 0, True
+        return t_fail, 0.0, 0, False
+    wall = 0.0
+    gained = 0.0
+    writes = 0
+    while gained < left:
+        segment = min(interval, left - gained)
+        if t_fail < wall + segment:  # failure mid-compute
+            return t_fail, gained, writes, False
+        wall += segment
+        if gained + segment < left:  # commit requires a checkpoint write
+            if t_fail < wall + write_time:  # failure mid-write: segment lost
+                return t_fail, gained, writes, False
+            wall += write_time
+            writes += 1
+        gained += segment
+    return wall, gained, writes, True
 
 
 class TaskGraph:
@@ -108,19 +190,38 @@ class TaskGraph:
         facility: str,
         nodes: int = 1,
         deps: tuple[str, ...] | list[str] = (),
+        failure_rate: float = 0.0,
+        checkpoint_interval: float | None = None,
+        checkpoint_write_time: float = 0.0,
     ) -> Task:
         """Convenience builder."""
         task = Task(
             name=name, duration=duration, facility=facility,
             nodes=nodes, deps=tuple(deps),
+            failure_rate=failure_rate,
+            checkpoint_interval=checkpoint_interval,
+            checkpoint_write_time=checkpoint_write_time,
         )
         self.add(task)
         return task
 
-    def execute(self) -> WorkflowRun:
-        """Run the DAG with resource contention; returns timing results."""
+    def execute(
+        self,
+        retry: RetryPolicy | None = None,
+        seed: int = 0,
+    ) -> WorkflowRun:
+        """Run the DAG with resource contention; returns timing results.
+
+        Tasks with a positive ``failure_rate`` are retried under ``retry``
+        (defaults to :class:`RetryPolicy` when any task can fail), resuming
+        from their last committed checkpoint. ``seed`` drives the per-task
+        failure draws; the same seed reproduces the exact same failure
+        times, retry counts and makespan.
+        """
         if not self.tasks:
             raise ConfigurationError("empty task graph")
+        if retry is None:
+            retry = RetryPolicy()
         engine = Engine()
         pools = {
             key: Resource(engine, fac.nodes, name=fac.name)
@@ -129,20 +230,65 @@ class TaskGraph:
         run = WorkflowRun(makespan=0.0, start_times={}, end_times={})
         procs: dict[str, object] = {}
 
-        def task_proc(task: Task):
+        def task_proc(task: Task, index: int):
             for dep in task.deps:
                 yield procs[dep]
-            yield pools[task.facility].acquire(task.nodes)
-            run.start_times[task.name] = engine.now
-            run.trace.record(engine.now, "start", task.name, task.nodes)
             duration = self.facilities[task.facility].duration(task.duration)
-            yield Timeout(duration)
-            pools[task.facility].release(task.nodes)
-            run.end_times[task.name] = engine.now
-            run.trace.record(engine.now, "end", task.name, duration)
+            if task.failure_rate == 0.0:
+                # fault-free fast path: byte-for-byte the seed executor
+                yield pools[task.facility].acquire(task.nodes)
+                run.start_times[task.name] = engine.now
+                run.trace.record(engine.now, "start", task.name, task.nodes)
+                yield Timeout(duration)
+                pools[task.facility].release(task.nodes)
+                run.end_times[task.name] = engine.now
+                run.trace.record(engine.now, "end", task.name, duration)
+                run.attempts[task.name] = 1
+                return
+            # resilient path: retry loop with checkpoint-restart
+            rng = np.random.default_rng([seed, index])
+            committed = 0.0
+            attempts = 0
+            while True:
+                yield pools[task.facility].acquire(task.nodes)
+                if attempts == 0:
+                    run.start_times[task.name] = engine.now
+                    run.trace.record(engine.now, "start", task.name, task.nodes)
+                attempts += 1
+                t_fail = float(rng.exponential(1.0 / task.failure_rate))
+                wall, gained, writes, completed = _attempt_timeline(
+                    duration - committed,
+                    task.checkpoint_interval,
+                    task.checkpoint_write_time,
+                    t_fail,
+                )
+                yield Timeout(wall)
+                pools[task.facility].release(task.nodes)
+                committed += gained
+                run.checkpoint_seconds += writes * task.checkpoint_write_time
+                if completed:
+                    run.end_times[task.name] = engine.now
+                    run.trace.record(engine.now, "end", task.name, duration)
+                    run.attempts[task.name] = attempts
+                    return
+                run.n_failures += 1
+                run.lost_seconds += (
+                    wall - gained - writes * task.checkpoint_write_time
+                )
+                run.trace.record(
+                    engine.now, "failure", task.name, attempts
+                )
+                if retry.exhausted(attempts):
+                    raise SimulationError(
+                        f"task {task.name!r} failed {attempts} times "
+                        "(retry budget exhausted)"
+                    )
+                backoff = retry.delay(attempts, rng)
+                run.trace.record(engine.now, "retry", task.name, backoff)
+                yield Timeout(backoff)
 
-        for name, task in self.tasks.items():
-            procs[name] = engine.spawn(task_proc(task), name=name)
+        for index, (name, task) in enumerate(self.tasks.items()):
+            procs[name] = engine.spawn(task_proc(task, index), name=name)
         engine.run()
 
         if len(run.end_times) != len(self.tasks):

@@ -1,0 +1,15 @@
+"""Standardized Hypothesis settings profiles for property tests.
+
+Tiers:
+- DETERMINISM_SETTINGS: 100 examples — seed-reproducibility invariants
+- STANDARD_SETTINGS: 50 examples — regular property tests
+- SLOW_SETTINGS: 20 examples — tests running event-driven simulations
+- QUICK_SETTINGS: 10 examples — fast validation tests
+"""
+
+from hypothesis import settings
+
+DETERMINISM_SETTINGS = settings(max_examples=100, deadline=None)
+STANDARD_SETTINGS = settings(max_examples=50, deadline=None)
+SLOW_SETTINGS = settings(max_examples=20, deadline=None)
+QUICK_SETTINGS = settings(max_examples=10, deadline=None)

@@ -1,0 +1,195 @@
+"""Property-based tests (Hypothesis) for the resilience layer.
+
+The central invariant: the discrete-event engine stays deterministic under
+fault injection — the same seed must reproduce identical failure times,
+retry counts, and makespans, and disabling injection must reproduce the
+fault-free results exactly.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.resilience import (
+    FailureInjector,
+    NodeFailureModel,
+    RetryPolicy,
+    simulate_checkpoint_restart,
+)
+from repro.scheduler import FaultModel, Job, Scheduler
+from repro.sim import Engine, Interrupt, Timeout
+from repro.workflows.dag import TaskGraph
+from repro.workflows.facility import Facility
+
+from .hypothesis_settings import (
+    DETERMINISM_SETTINGS,
+    SLOW_SETTINGS,
+    STANDARD_SETTINGS,
+)
+
+YEAR = 365 * 24 * 3600.0
+
+
+def _run_injected(seed: int, mtbf: float, work: float) -> tuple:
+    """One injected run; returns (failure_times, finish_time)."""
+    eng = Engine()
+
+    def victim():
+        done = 0.0
+        while done < work:
+            start = eng.now
+            try:
+                yield Timeout(work - done)
+                done = work
+            except Interrupt:
+                done += 0.5 * (eng.now - start)  # half the segment survives
+        return done
+
+    proc = eng.spawn(victim())
+    injector = FailureInjector(eng, NodeFailureModel(mtbf), seed=seed)
+    injector.attach(proc, n_nodes=4)
+    eng.run()
+    return tuple(e.time for e in injector.events), proc.finished_at
+
+
+class TestEngineDeterminism:
+    @DETERMINISM_SETTINGS
+    @given(seed=st.integers(0, 2**31), mtbf=st.floats(50.0, 5000.0))
+    def test_same_seed_identical_failure_times_and_makespan(self, seed, mtbf):
+        assert _run_injected(seed, mtbf, 300.0) == _run_injected(
+            seed, mtbf, 300.0
+        )
+
+    @STANDARD_SETTINGS
+    @given(seed=st.integers(0, 2**31))
+    def test_failure_times_strictly_ordered(self, seed):
+        times, _ = _run_injected(seed, 100.0, 500.0)
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+
+class TestRestartProperties:
+    @SLOW_SETTINGS
+    @given(
+        seed=st.integers(0, 2**31),
+        interval=st.floats(20.0, 200.0),
+        write=st.floats(0.5, 10.0),
+        mtbf=st.floats(500.0, 50000.0),
+    )
+    def test_same_seed_identical_stats(self, seed, interval, write, mtbf):
+        kwargs = dict(
+            work_seconds=1000.0, interval=interval, write_time=write,
+            n_nodes=8, node_mtbf_seconds=mtbf, seed=seed,
+        )
+        assert simulate_checkpoint_restart(**kwargs) == (
+            simulate_checkpoint_restart(**kwargs)
+        )
+
+    @SLOW_SETTINGS
+    @given(
+        seed=st.integers(0, 2**31),
+        interval=st.floats(20.0, 200.0),
+        mtbf=st.floats(500.0, 50000.0),
+    )
+    def test_accounting_closes_and_goodput_bounded(self, seed, interval, mtbf):
+        stats = simulate_checkpoint_restart(
+            work_seconds=1000.0, interval=interval, write_time=2.0,
+            n_nodes=8, node_mtbf_seconds=mtbf, seed=seed,
+        )
+        assert stats.work_seconds == 1000.0
+        # every wall second is work, checkpoint, lost, or restart time
+        assert abs(
+            stats.wall_seconds
+            - (stats.work_seconds + stats.checkpoint_seconds
+               + stats.lost_seconds + stats.restart_seconds)
+        ) < 1e-6
+        assert 0.0 < stats.goodput_fraction <= 1.0
+        assert stats.goodput_fraction + stats.overhead_fraction == 1.0
+
+
+def _dag_run(seed, rate, retry):
+    graph = TaskGraph({"hpc": Facility(name="HPC", nodes=8, speed=1.0)})
+    graph.add_task("a", 100.0, "hpc", nodes=2, failure_rate=rate,
+                   checkpoint_interval=25.0, checkpoint_write_time=1.0)
+    graph.add_task("b", 200.0, "hpc", nodes=4, deps=("a",), failure_rate=rate)
+    graph.add_task("c", 50.0, "hpc", nodes=8, deps=("a", "b"))
+    return graph.execute(retry=retry, seed=seed)
+
+
+class TestDagDeterminism:
+    @STANDARD_SETTINGS
+    @given(
+        seed=st.integers(0, 2**31),
+        rate=st.floats(1e-4, 1e-2),
+    )
+    def test_same_seed_identical_retries_and_makespan(self, seed, rate):
+        policy = RetryPolicy(max_attempts=200)
+        a = _dag_run(seed, rate, policy)
+        b = _dag_run(seed, rate, policy)
+        assert a.makespan == b.makespan
+        assert a.attempts == b.attempts
+        assert a.n_retries == b.n_retries
+        assert a.end_times == b.end_times
+
+    @STANDARD_SETTINGS
+    @given(seed=st.integers(0, 2**31))
+    def test_zero_rate_matches_fault_free_baseline_exactly(self, seed):
+        baseline = _dag_run(0, 0.0, None)
+        injected_off = _dag_run(seed, 0.0, RetryPolicy())
+        assert injected_off.makespan == baseline.makespan
+        assert injected_off.start_times == baseline.start_times
+        assert injected_off.end_times == baseline.end_times
+        assert injected_off.n_failures == 0
+
+    @STANDARD_SETTINGS
+    @given(
+        seed=st.integers(0, 2**31),
+        rate=st.floats(1e-4, 3e-3),
+    )
+    def test_failures_never_shorten_the_makespan(self, seed, rate):
+        clean = _dag_run(seed, 0.0, None)
+        faulty = _dag_run(seed, rate, RetryPolicy(max_attempts=500))
+        assert faulty.makespan >= clean.makespan
+        assert faulty.lost_seconds >= 0.0
+
+
+def _sched_jobs():
+    return [
+        Job("wide", nodes=2048, duration=20000.0, submit_time=0.0),
+        Job("mid", nodes=512, duration=9000.0, submit_time=30.0),
+        Job("small", nodes=64, duration=2500.0, submit_time=60.0),
+    ]
+
+
+class TestSchedulerDeterminism:
+    @STANDARD_SETTINGS
+    @given(
+        seed=st.integers(0, 2**31),
+        mtbf_years=st.floats(0.5, 5.0),
+    )
+    def test_same_seed_identical_schedule(self, seed, mtbf_years):
+        faults = FaultModel(
+            node_mtbf_seconds=mtbf_years * YEAR,
+            checkpoint_interval=3600.0,
+            seed=seed,
+        )
+        a = Scheduler(4608).run(_sched_jobs(), faults=faults)
+        b = Scheduler(4608).run(_sched_jobs(), faults=faults)
+        assert a.makespan == b.makespan
+        assert a.n_failures == b.n_failures
+        assert a.n_requeues == b.n_requeues
+        assert a.lost_node_hours == b.lost_node_hours
+        assert a.end_times == b.end_times
+
+    @STANDARD_SETTINGS
+    @given(
+        seed=st.integers(0, 2**31),
+        mtbf_years=st.floats(2.0, 10.0),
+    )
+    def test_goodput_bounded_and_no_free_lunch(self, seed, mtbf_years):
+        base = Scheduler(4608).run(_sched_jobs())
+        faults = FaultModel(node_mtbf_seconds=mtbf_years * YEAR, seed=seed)
+        result = Scheduler(4608).run(_sched_jobs(), faults=faults)
+        assert 0.0 < result.goodput_fraction <= 1.0
+        if not result.abandoned:
+            # every job finishes its useful work; failures only add wall time
+            assert result.makespan >= base.makespan
+            assert result.delivered_node_hours == base.delivered_node_hours
