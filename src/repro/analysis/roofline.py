@@ -11,6 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.cost import RooflineCostModel, kernels
 from repro.errors import ConfigurationError
 from repro.machine.gpu import GpuSpec, Precision
 
@@ -41,9 +44,32 @@ def roofline_point(
     peak = gpu.peak(precision)
     intensity = flops / bytes_moved
     ridge = peak / gpu.memory_bandwidth
-    attainable = min(peak, intensity * gpu.memory_bandwidth)
+    attainable = kernels.roofline_attainable(
+        peak, gpu.memory_bandwidth, intensity
+    )
     return RooflinePoint(
         arithmetic_intensity=intensity,
         attainable_flops=attainable,
         ridge_intensity=ridge,
+    )
+
+
+def roofline_sweep(
+    gpu: GpuSpec,
+    flops: np.ndarray,
+    bytes_moved: np.ndarray,
+    precision: Precision = Precision.MIXED,
+):
+    """Vectorized roofline placement over (flops x bytes_moved) grids.
+
+    Returns the :class:`~repro.cost.breakdown.CostBreakdown` from
+    :class:`~repro.cost.RooflineCostModel` with ``arithmetic_intensity``,
+    ``ridge_intensity`` and ``attainable_flops`` terms broadcast over the
+    inputs.
+    """
+    return RooflineCostModel().evaluate_batch(
+        flops=np.asarray(flops, dtype=float),
+        bytes_moved=np.asarray(bytes_moved, dtype=float),
+        peak_flops=gpu.peak(precision),
+        memory_bandwidth=gpu.memory_bandwidth,
     )

@@ -74,6 +74,33 @@ class ExtremeScaleApp:
             "reported": self.reported,
         }
 
+    def cost_model(self, system: System | None = None):
+        """The app's step-time composite from the :mod:`repro.cost` layer.
+
+        Evaluate at one node count (``.evaluate(n_nodes=...)``) or across a
+        grid (:meth:`sweep_nodes`); scalar results are bit-identical to
+        ``job(n).breakdown()``.
+        """
+        from repro.training.step_time import step_cost
+
+        return step_cost(
+            self.model_factory(),
+            system or summit(include_high_mem=False),
+            self.plan,
+            data_source=self.data_source,
+        )
+
+    def sweep_nodes(self, n_nodes, system: System | None = None):
+        """Vectorized step-time sweep over a node-count axis.
+
+        ``n_nodes`` is any 1-D integer sequence; node counts must be
+        multiples of the replica span for model-parallel apps. Returns a
+        :class:`~repro.cost.sweep.SweepResult`.
+        """
+        from repro.cost import sweep
+
+        return sweep(self.cost_model(system), {"n_nodes": n_nodes})
+
     def resilience_report(
         self,
         n_nodes: int | None = None,

@@ -10,7 +10,10 @@ Commands mirror the paper's strands:
 - ``survey``    — regenerate Figures 1-6 from the calibrated portfolio;
 - ``gordon-bell`` — print Table III and the AI finalist list;
 - ``resilience`` — goodput under node failures and checkpoint-restart for a
-  Section IV-B application, with empirical Young/Daly validation.
+  Section IV-B application, with empirical Young/Daly validation;
+- ``sweep``     — vectorized cost-model sweep: per-app step-time breakdown
+  over a node-count grid, or the Section VI-B comm-vs-compute crossover
+  surface (``--crossover``).
 """
 
 from __future__ import annotations
@@ -22,7 +25,6 @@ from repro import units
 from repro.core import ScalingStudyRunner, SummitSimulator, UsageSurvey
 from repro.models.catalog import CATALOG
 from repro.training.parallelism import DataSource, ParallelismPlan
-from repro.training.scaling import ScalingStudy
 
 
 def _cmd_machine(args: argparse.Namespace) -> int:
@@ -111,6 +113,66 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_nodes(spec: str) -> list[int]:
+    """Node-count grid: ``1,16,256`` (list) or ``4:4608:16`` (range w/ step)."""
+    if ":" in spec:
+        start, stop, step = (int(x) for x in spec.split(":"))
+        return list(range(start, stop + 1, step))
+    return [int(n) for n in spec.split(",")]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    nodes = _parse_nodes(args.nodes)
+
+    if args.crossover:
+        sim = SummitSimulator()
+        sizes = np.array([float(s) * 1e6 for s in args.message_mb.split(",")])
+        result = sim.crossover_surface(
+            sizes, np.array(nodes), compute_time=args.compute_ms * 1e-3
+        )
+        from repro.cost import crossover_nodes
+
+        cross = crossover_nodes(result)
+        paper = result.term("paper_estimate")[:, 0]
+        ring = result.term("comm")
+        print(
+            f"Section VI-B crossover surface "
+            f"(compute budget {args.compute_ms:g} ms/step)"
+        )
+        print(f"{'message':>10}  {'paper est.':>10}  {'ring@max':>10}  "
+              f"{'comm>compute at':>15}")
+        for i, size in enumerate(sizes):
+            at = "never" if np.isnan(cross[i]) else f"{int(cross[i])} nodes"
+            print(
+                f"{units.format_bytes(size):>10}  "
+                f"{units.format_time(paper[i]):>10}  "
+                f"{units.format_time(ring[i, -1]):>10}  {at:>15}"
+            )
+        return 0
+
+    from repro.apps.extreme_scale import get_app
+
+    app = get_app(args.app)
+    result = app.sweep_nodes(nodes)
+    total = result.total()
+    print(f"{app.key}: step-time sweep over {len(nodes)} node counts "
+          f"(one vectorized pass)")
+    print(f"{'nodes':>7}  {'compute':>9}  {'comm_exp':>9}  {'io_exp':>9}  "
+          f"{'straggler':>9}  {'total':>9}  {'samples/s':>12}")
+    for i, n in enumerate(nodes):
+        bd = result.at(i)
+        print(
+            f"{n:>7}  {bd['compute'] * 1e3:>8.2f}m  "
+            f"{bd['comm_exposed'] * 1e3:>8.2f}m  "
+            f"{bd['io_exposed'] * 1e3:>8.2f}m  "
+            f"{bd['straggler'] * 1e3:>8.2f}m  {total[i] * 1e3:>8.2f}m  "
+            f"{bd['samples'] / total[i]:>12.0f}"
+        )
+    return 0
+
+
 def _cmd_gordon_bell(args: argparse.Namespace) -> int:
     from repro.apps.registry import GORDON_BELL_FINALISTS, gordon_bell_table
 
@@ -191,6 +253,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--analytic-only", action="store_true",
                    help="skip the event-driven empirical simulation")
     p.set_defaults(fn=_cmd_resilience)
+
+    p = sub.add_parser(
+        "sweep",
+        help="vectorized cost-model sweep (per-app or --crossover)",
+    )
+    p.add_argument("--app", choices=sorted(EXTREME_SCALE_APPS),
+                   default="kurth",
+                   help="Section IV-B application to sweep")
+    p.add_argument("--nodes", default="1,16,64,256,1024,4096",
+                   help="node grid: comma list or start:stop:step range")
+    p.add_argument("--crossover", action="store_true",
+                   help="map the Section VI-B comm-vs-compute crossover "
+                        "surface instead of an app sweep")
+    p.add_argument("--message-mb", default="102.4,1400",
+                   help="gradient message sizes in MB (crossover mode; "
+                        "default ResNet-50 and BERT-large)")
+    p.add_argument("--compute-ms", type=float, default=50.0,
+                   help="per-step compute budget in ms (crossover mode)")
+    p.set_defaults(fn=_cmd_sweep)
 
     return parser
 

@@ -1,0 +1,57 @@
+"""Single source of truth for the paper's Summit calibration constants.
+
+Every bandwidth the paper quotes (Section II-A hardware, Section VI-B
+analysis) lives here exactly once; the machine, network, and storage layers
+import these instead of repeating literals. The numbers are re-exported from
+:mod:`repro.machine.summit` — the user-facing home of the machine catalog —
+but are *defined* in this leaf module (importing only :mod:`repro.units`) so
+that :mod:`repro.network.link` and :mod:`repro.storage.filesystem` can use
+them without creating an import cycle through ``repro.machine``.
+
+See DESIGN.md "Calibration constants" for the provenance of each value.
+"""
+
+from __future__ import annotations
+
+from repro import units
+
+# -- network (Section II-A / VI-B) --------------------------------------------
+
+#: One EDR InfiniBand rail: 100 Gb/s signalling -> 12.5 GB/s payload.
+SUMMIT_EDR_RAIL_BANDWIDTH = 12.5 * units.GB
+
+#: Summit node injection: dual-rail EDR, 2 x 12.5 GB/s = 25 GB/s.
+SUMMIT_INJECTION_RAILS = 2
+SUMMIT_INJECTION_BANDWIDTH = SUMMIT_INJECTION_RAILS * SUMMIT_EDR_RAIL_BANDWIDTH
+
+#: MPI-level one-way message latency on the fabric.
+SUMMIT_INJECTION_LATENCY = 1.0 * units.US
+
+#: Section VI-B: ring-allreduce algorithmic bandwidth is half the injection
+#: bandwidth — the "12.5 GB/s" behind the 8 ms / 110 ms estimates.
+SUMMIT_ALGORITHMIC_BANDWIDTH = SUMMIT_INJECTION_BANDWIDTH / 2.0
+
+#: NVLink 2.0 brick pair between GPUs inside a node (per direction).
+SUMMIT_NVLINK_BANDWIDTH = 50 * units.GB
+SUMMIT_NVLINK_LATENCY = 0.7 * units.US
+
+# -- machine shape -------------------------------------------------------------
+
+SUMMIT_NODE_COUNT = 4608
+SUMMIT_GPUS_PER_NODE = 6
+
+# -- shared filesystem (Alpine / GPFS) ----------------------------------------
+
+GPFS_AGGREGATE_READ_BANDWIDTH = 2.5 * units.TB
+GPFS_AGGREGATE_WRITE_BANDWIDTH = 2.5 * units.TB
+GPFS_PER_CLIENT_BANDWIDTH = 12.5 * units.GB
+GPFS_CAPACITY_BYTES = 250 * units.PB
+
+# -- node-local NVMe burst buffer ----------------------------------------------
+
+NVME_CAPACITY_BYTES = 1.6 * units.TB
+NVME_READ_BANDWIDTH = 6.0 * units.GB
+NVME_WRITE_BANDWIDTH = 2.1 * units.GB
+
+#: "over 27 TB/s" aggregate: 6 GB/s x 4 608 nodes = 27.6 TB/s.
+NVME_AGGREGATE_READ_BANDWIDTH = NVME_READ_BANDWIDTH * SUMMIT_NODE_COUNT

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro import units
+from repro.cost import crossover_sweep, sweep
+from repro.cost.sweep import SweepResult
 from repro.errors import ConfigurationError
 from repro.machine.summit import summit
 from repro.machine.system import System
@@ -50,6 +52,50 @@ class SummitSimulator:
         model = get_model(model_key)
         self.system.require_nodes(n_nodes)
         return ring_allreduce_time(n_nodes, model.gradient_bytes, self.system.interconnect)
+
+    def step_sweep(
+        self,
+        model_key: str,
+        node_counts,
+        plan: ParallelismPlan | None = None,
+        data_source: DataSource = DataSource.NVME,
+    ) -> SweepResult:
+        """Vectorized step-time sweep for a catalog model over node counts.
+
+        One ``evaluate_batch`` pass through the :mod:`repro.cost` composite;
+        scalar points are bit-identical to :meth:`TrainingJob.breakdown`.
+        """
+        from repro.training.step_time import step_cost
+
+        cost = step_cost(
+            get_model(model_key),
+            self.system,
+            plan or ParallelismPlan(local_batch=32),
+            data_source=data_source,
+        )
+        return sweep(cost, {"n_nodes": node_counts})
+
+    def crossover_surface(
+        self,
+        message_bytes,
+        node_counts,
+        compute_time: float,
+        bandwidth=None,
+    ) -> SweepResult:
+        """Section VI-B comm-vs-compute crossover surface on this machine.
+
+        Any of ``message_bytes`` / ``node_counts`` / ``bandwidth`` may be a
+        sequence (a grid axis); ``bandwidth`` defaults to the system
+        interconnect's aggregate injection bandwidth.
+        """
+        link = self.system.interconnect
+        return crossover_sweep(
+            message_bytes,
+            node_counts,
+            link.total_bandwidth if bandwidth is None else bandwidth,
+            latency=link.latency,
+            compute_time=compute_time,
+        )
 
     def io_report(self, model_key: str, n_nodes: int | None = None) -> dict:
         """The Section VI-B read-bandwidth feasibility analysis."""

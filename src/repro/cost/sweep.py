@@ -1,0 +1,186 @@
+"""Vectorized parameter sweeps over cost-model configuration grids.
+
+:func:`sweep` builds a sparse ``np.meshgrid`` over the named axes and pushes
+the whole grid through ``evaluate_batch`` in one pass — every term comes back
+as an array over the grid shape. :func:`sweep_scalar` is the reference
+implementation (a Python loop over ``evaluate``); the property suite asserts
+the two are element-wise **bit-identical**, which is what licenses the fast
+path for paper-figure reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.cost.breakdown import CostBreakdown
+from repro.errors import ConfigurationError
+
+__all__ = ["SweepResult", "sweep", "sweep_scalar"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A breakdown evaluated over a labelled N-dimensional grid.
+
+    ``axes`` maps axis name -> 1-D coordinate array, in grid order;
+    ``breakdown`` holds the vectorized terms broadcastable to ``shape``.
+    """
+
+    model: str
+    axes: dict[str, np.ndarray]
+    breakdown: CostBreakdown
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(len(v) for v in self.axes.values())
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape)) if self.axes else 1
+
+    @property
+    def axis_names(self) -> tuple[str, ...]:
+        return tuple(self.axes)
+
+    def term(self, name: str) -> np.ndarray:
+        """A term broadcast to the full grid shape."""
+        return np.broadcast_to(np.asarray(self.breakdown[name]), self.shape)
+
+    def total(self) -> np.ndarray:
+        """Critical-path total over the full grid."""
+        return np.broadcast_to(np.asarray(self.breakdown.total), self.shape)
+
+    def point(self, *index: int) -> dict[str, float]:
+        """Axis coordinates at one grid index."""
+        if len(index) != len(self.axes):
+            raise ConfigurationError(
+                f"{self.model}: index {index} does not match axes "
+                f"{self.axis_names}"
+            )
+        return {
+            name: values[i].item()
+            for (name, values), i in zip(self.axes.items(), index)
+        }
+
+    def at(self, *index: int) -> CostBreakdown:
+        """Scalar breakdown at one grid index."""
+        return self.breakdown.at(*index)
+
+    def argmin(self, term: str | None = None) -> tuple[int, ...]:
+        """Grid index minimising ``term`` (default: the critical-path total)."""
+        values = self.total() if term is None else self.term(term)
+        return tuple(int(i) for i in
+                     np.unravel_index(int(np.argmin(values)), self.shape))
+
+    def best(self, term: str | None = None) -> dict[str, float]:
+        """Axis coordinates of the minimising grid point."""
+        return self.point(*self.argmin(term))
+
+    def crossover_along(
+        self, axis: str, term_a: str, term_b: str
+    ) -> np.ndarray:
+        """First coordinate along ``axis`` where ``term_b`` >= ``term_a``.
+
+        Returns an array over the remaining axes (NaN where ``term_b`` never
+        catches up) — e.g. the node count at which allreduce overtakes
+        compute, as a function of model size and link bandwidth.
+        """
+        names = self.axis_names
+        if axis not in names:
+            raise ConfigurationError(
+                f"{self.model}: no axis {axis!r} among {names}"
+            )
+        dim = names.index(axis)
+        a = np.moveaxis(self.term(term_a), dim, -1)
+        b = np.moveaxis(self.term(term_b), dim, -1)
+        mask = b >= a
+        idx = np.argmax(mask, axis=-1)
+        coords = self.axes[axis][idx].astype(float)
+        return np.where(np.any(mask, axis=-1), coords, np.nan)
+
+    def table(self, terms: tuple[str, ...] | None = None,
+              limit: int = 20) -> str:
+        """Flat text table of the first ``limit`` grid points."""
+        names = terms or tuple(self.breakdown)
+        header = [*self.axis_names, *names, "total"]
+        cols = [self.term(n).reshape(-1) for n in names]
+        axes_grid = np.meshgrid(*self.axes.values(), indexing="ij")
+        axis_cols = [g.reshape(-1) for g in axes_grid]
+        tot = self.total().reshape(-1)
+        lines = ["  ".join(f"{h:>12}" for h in header)]
+        for i in range(min(limit, tot.size)):
+            row = [*(c[i] for c in axis_cols), *(c[i] for c in cols), tot[i]]
+            lines.append("  ".join(f"{v:>12.6g}" for v in row))
+        if tot.size > limit:
+            lines.append(f"... ({tot.size - limit} more rows)")
+        return "\n".join(lines)
+
+
+def sweep(model: Any, grid: dict[str, Any], **fixed: Any) -> SweepResult:
+    """Evaluate ``model`` over the outer product of the ``grid`` axes.
+
+    ``grid`` maps config keys to 1-D sequences; axes are combined with a
+    *sparse* ``meshgrid`` (``indexing='ij'``) so an N-axis sweep broadcasts
+    instead of materialising N full-rank copies of every input. ``fixed``
+    entries are passed through as scalars.
+
+    >>> from repro.cost.models import ConvergenceCostModel
+    >>> r = sweep(ConvergenceCostModel(), {"batch": [1024, 4096]},
+    ...           min_samples=1.15e8, critical_batch=4096)
+    >>> r.shape
+    (2,)
+    >>> [round(float(s)) for s in r.term("steps_to_target")]
+    [140381, 56152]
+    """
+    if not grid:
+        raise ConfigurationError("sweep() needs at least one grid axis")
+    axes = {name: np.asarray(values) for name, values in grid.items()}
+    for name, values in axes.items():
+        if values.ndim != 1 or values.size == 0:
+            raise ConfigurationError(
+                f"sweep axis {name!r} must be a non-empty 1-D sequence"
+            )
+    meshes = np.meshgrid(*axes.values(), indexing="ij", sparse=True)
+    config = dict(fixed)
+    config.update(zip(axes, meshes))
+    breakdown = model.evaluate_batch(**config)
+    return SweepResult(model=model.name, axes=axes, breakdown=breakdown)
+
+
+def sweep_scalar(model: Any, grid: dict[str, Any], **fixed: Any) -> SweepResult:
+    """Reference implementation: a Python loop of scalar ``evaluate`` calls.
+
+    Produces the same ``SweepResult`` as :func:`sweep`, element-wise
+    bit-identical; exists to validate (and benchmark against) the
+    vectorized path.
+    """
+    if not grid:
+        raise ConfigurationError("sweep_scalar() needs at least one grid axis")
+    axes = {name: np.asarray(values) for name, values in grid.items()}
+    shape = tuple(len(v) for v in axes.values())
+    names = tuple(axes)
+    term_grids: dict[str, np.ndarray] = {}
+    first: CostBreakdown | None = None
+    for flat_index in range(int(np.prod(shape))):
+        index = np.unravel_index(flat_index, shape)
+        config = dict(fixed)
+        for name, i in zip(names, index):
+            config[name] = axes[name][i].item()
+        bd = model.evaluate(**config)
+        if first is None:
+            first = bd
+            for term in bd:
+                term_grids[term] = np.empty(shape, dtype=float)
+        for term, value in bd.items():
+            term_grids[term][index] = value
+    assert first is not None
+    breakdown = CostBreakdown(
+        model=first.model,
+        terms=dict(term_grids),
+        provenance=first.provenance,
+        critical=first.critical,
+    )
+    return SweepResult(model=model.name, axes=axes, breakdown=breakdown)

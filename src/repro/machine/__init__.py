@@ -11,6 +11,10 @@ from repro.machine.cpu import AMD_EPYC_7302, IBM_POWER9, INTEL_XEON_E5_2650V2, C
 from repro.machine.gpu import NVIDIA_K80, NVIDIA_V100, GpuSpec, Precision
 from repro.machine.node import NodeSpec
 from repro.machine.summit import (
+    GPFS_AGGREGATE_READ_BANDWIDTH,
+    NVME_AGGREGATE_READ_BANDWIDTH,
+    SUMMIT_ALGORITHMIC_BANDWIDTH,
+    SUMMIT_INJECTION_BANDWIDTH,
     andes,
     rhea,
     summit,
@@ -22,13 +26,17 @@ from repro.machine.system import System
 __all__ = [
     "AMD_EPYC_7302",
     "CpuSpec",
+    "GPFS_AGGREGATE_READ_BANDWIDTH",
     "GpuSpec",
     "IBM_POWER9",
     "INTEL_XEON_E5_2650V2",
     "NVIDIA_K80",
     "NVIDIA_V100",
+    "NVME_AGGREGATE_READ_BANDWIDTH",
     "NodeSpec",
     "Precision",
+    "SUMMIT_ALGORITHMIC_BANDWIDTH",
+    "SUMMIT_INJECTION_BANDWIDTH",
     "System",
     "andes",
     "rhea",

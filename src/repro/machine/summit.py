@@ -3,17 +3,66 @@
 All capacities and rates below are as stated in the paper (see DESIGN.md
 "Calibration constants"); where the paper gives no number (e.g. Andes'
 interconnect) we use the published system documentation values.
+
+The Summit calibration constants themselves are *defined* in
+:mod:`repro.constants` (a leaf module, to avoid import cycles) and
+re-exported here — ``repro.machine.summit`` is their user-facing home.
 """
 
 from __future__ import annotations
 
 from repro import units
+from repro.constants import (
+    GPFS_AGGREGATE_READ_BANDWIDTH,
+    GPFS_AGGREGATE_WRITE_BANDWIDTH,
+    GPFS_CAPACITY_BYTES,
+    GPFS_PER_CLIENT_BANDWIDTH,
+    NVME_AGGREGATE_READ_BANDWIDTH,
+    NVME_CAPACITY_BYTES,
+    NVME_READ_BANDWIDTH,
+    NVME_WRITE_BANDWIDTH,
+    SUMMIT_ALGORITHMIC_BANDWIDTH,
+    SUMMIT_EDR_RAIL_BANDWIDTH,
+    SUMMIT_GPUS_PER_NODE,
+    SUMMIT_INJECTION_BANDWIDTH,
+    SUMMIT_INJECTION_LATENCY,
+    SUMMIT_INJECTION_RAILS,
+    SUMMIT_NODE_COUNT,
+    SUMMIT_NVLINK_BANDWIDTH,
+    SUMMIT_NVLINK_LATENCY,
+)
 from repro.machine.cpu import AMD_EPYC_7302, IBM_POWER9, INTEL_XEON_E5_2650V2
 from repro.machine.gpu import NVIDIA_K80, NVIDIA_V100, GpuSpec
 from repro.machine.node import NodeSpec
 from repro.machine.system import System
-from repro.network.link import LinkSpec
+from repro.network.link import SUMMIT_INJECTION, LinkSpec
 from repro.storage.filesystem import SUMMIT_GPFS
+
+__all__ = [
+    "summit_node",
+    "summit_high_mem_node",
+    "summit",
+    "rhea",
+    "andes",
+    # re-exported calibration constants (defined in repro.constants)
+    "SUMMIT_EDR_RAIL_BANDWIDTH",
+    "SUMMIT_INJECTION_RAILS",
+    "SUMMIT_INJECTION_BANDWIDTH",
+    "SUMMIT_INJECTION_LATENCY",
+    "SUMMIT_ALGORITHMIC_BANDWIDTH",
+    "SUMMIT_NVLINK_BANDWIDTH",
+    "SUMMIT_NVLINK_LATENCY",
+    "SUMMIT_NODE_COUNT",
+    "SUMMIT_GPUS_PER_NODE",
+    "GPFS_AGGREGATE_READ_BANDWIDTH",
+    "GPFS_AGGREGATE_WRITE_BANDWIDTH",
+    "GPFS_PER_CLIENT_BANDWIDTH",
+    "GPFS_CAPACITY_BYTES",
+    "NVME_CAPACITY_BYTES",
+    "NVME_READ_BANDWIDTH",
+    "NVME_WRITE_BANDWIDTH",
+    "NVME_AGGREGATE_READ_BANDWIDTH",
+]
 
 
 def summit_node() -> NodeSpec:
@@ -24,12 +73,12 @@ def summit_node() -> NodeSpec:
         cpus=IBM_POWER9,
         cpu_count=2,
         gpus=NVIDIA_V100,
-        gpu_count=6,
+        gpu_count=SUMMIT_GPUS_PER_NODE,
         host_memory_bytes=512 * units.GIB,
-        nvme_bytes=1.6 * units.TB,
-        nvme_read_bandwidth=6.0 * units.GB,
-        nvme_write_bandwidth=2.1 * units.GB,
-        injection_bandwidth=25 * units.GB,
+        nvme_bytes=NVME_CAPACITY_BYTES,
+        nvme_read_bandwidth=NVME_READ_BANDWIDTH,
+        nvme_write_bandwidth=NVME_WRITE_BANDWIDTH,
+        injection_bandwidth=SUMMIT_INJECTION_BANDWIDTH,
         tags=frozenset({"gpu", "nvme"}),
     )
 
@@ -51,12 +100,12 @@ def summit_high_mem_node() -> NodeSpec:
         cpus=IBM_POWER9,
         cpu_count=2,
         gpus=big_v100,
-        gpu_count=6,
+        gpu_count=SUMMIT_GPUS_PER_NODE,
         host_memory_bytes=2 * units.TB,
-        nvme_bytes=6.4 * units.TB,
-        nvme_read_bandwidth=24.0 * units.GB,
-        nvme_write_bandwidth=8.4 * units.GB,
-        injection_bandwidth=25 * units.GB,
+        nvme_bytes=4 * NVME_CAPACITY_BYTES,
+        nvme_read_bandwidth=4 * NVME_READ_BANDWIDTH,
+        nvme_write_bandwidth=4 * NVME_WRITE_BANDWIDTH,
+        injection_bandwidth=SUMMIT_INJECTION_BANDWIDTH,
         tags=frozenset({"gpu", "nvme", "high-mem"}),
     )
 
@@ -72,8 +121,8 @@ def summit(include_high_mem: bool = True) -> System:
     return System(
         name="Summit",
         node=summit_node(),
-        node_count=4608,
-        interconnect=LinkSpec(latency=1.0 * units.US, bandwidth=12.5 * units.GB, rails=2),
+        node_count=SUMMIT_NODE_COUNT,
+        interconnect=SUMMIT_INJECTION,
         shared_fs=SUMMIT_GPFS,
         extra_partitions=extras,
         fabric_levels=3,

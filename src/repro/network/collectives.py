@@ -11,7 +11,9 @@ gradient take ~8 ms and a 1.4 GB BERT-large gradient ~110 ms per step.
 
 All functions take the number of participants ``p``, the message size in
 bytes ``M``, and a :class:`~repro.network.link.LinkSpec` describing the
-injection link.
+injection link. The formulas themselves live in :mod:`repro.cost.kernels`
+(shared with the vectorized sweep path); this module is the LinkSpec-typed
+adapter.
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ from __future__ import annotations
 import enum
 import math
 
+from repro.cost import kernels
 from repro.errors import ConfigurationError
 from repro.network.link import LinkSpec
 
@@ -30,10 +33,7 @@ class AllreduceAlgorithm(enum.Enum):
 
 
 def _check(p: int, size_bytes: float) -> None:
-    if p < 1:
-        raise ConfigurationError(f"need at least one participant, got {p}")
-    if size_bytes < 0:
-        raise ConfigurationError(f"negative message size: {size_bytes}")
+    kernels.check_participants(p, size_bytes)
 
 
 def ring_allreduce_time(p: int, size_bytes: float, link: LinkSpec) -> float:
@@ -44,10 +44,9 @@ def ring_allreduce_time(p: int, size_bytes: float, link: LinkSpec) -> float:
     half the link bandwidth.
     """
     _check(p, size_bytes)
-    if p == 1:
-        return 0.0
-    bw = link.total_bandwidth
-    return 2 * (p - 1) * link.latency + 2 * (p - 1) / p * size_bytes / bw
+    return kernels.ring_allreduce_time(
+        p, size_bytes, link.latency, link.total_bandwidth
+    )
 
 
 def recursive_doubling_allreduce_time(p: int, size_bytes: float, link: LinkSpec) -> float:
@@ -58,22 +57,17 @@ def recursive_doubling_allreduce_time(p: int, size_bytes: float, link: LinkSpec)
     counts pay one extra fold-in round.
     """
     _check(p, size_bytes)
-    if p == 1:
-        return 0.0
-    rounds = math.ceil(math.log2(p))
-    extra = 0 if p & (p - 1) == 0 else 1
-    bw = link.total_bandwidth
-    return (rounds + extra) * (link.latency + size_bytes / bw)
+    return kernels.recursive_doubling_allreduce_time(
+        p, size_bytes, link.latency, link.total_bandwidth
+    )
 
 
 def binomial_tree_allreduce_time(p: int, size_bytes: float, link: LinkSpec) -> float:
     """Binomial reduce to a root followed by binomial broadcast."""
     _check(p, size_bytes)
-    if p == 1:
-        return 0.0
-    rounds = math.ceil(math.log2(p))
-    bw = link.total_bandwidth
-    return 2 * rounds * (link.latency + size_bytes / bw)
+    return kernels.binomial_tree_allreduce_time(
+        p, size_bytes, link.latency, link.total_bandwidth
+    )
 
 
 _ALGORITHMS = {
@@ -94,9 +88,13 @@ def allreduce_time(
     Production MPI/NCCL implementations switch algorithms on message size —
     passing ``None`` reproduces that tuned behaviour.
     """
-    if algorithm is None:
-        return min(fn(p, size_bytes, link) for fn in _ALGORITHMS.values())
-    return _ALGORITHMS[algorithm](p, size_bytes, link)
+    return kernels.allreduce_time(
+        p,
+        size_bytes,
+        link.latency,
+        link.total_bandwidth,
+        None if algorithm is None else algorithm.value,
+    )
 
 
 def best_allreduce_algorithm(
@@ -110,28 +108,26 @@ def best_allreduce_algorithm(
 def reduce_scatter_time(p: int, size_bytes: float, link: LinkSpec) -> float:
     """Ring reduce-scatter: ``(p-1) alpha + (p-1)/p * M / B``."""
     _check(p, size_bytes)
-    if p == 1:
-        return 0.0
-    return (p - 1) * link.latency + (p - 1) / p * size_bytes / link.total_bandwidth
+    return kernels.reduce_scatter_time(
+        p, size_bytes, link.latency, link.total_bandwidth
+    )
 
 
 def allgather_time(p: int, size_bytes: float, link: LinkSpec) -> float:
     """Ring allgather of a ``size_bytes`` total result."""
     _check(p, size_bytes)
-    if p == 1:
-        return 0.0
-    return (p - 1) * link.latency + (p - 1) / p * size_bytes / link.total_bandwidth
+    return kernels.allgather_time(
+        p, size_bytes, link.latency, link.total_bandwidth
+    )
 
 
 def broadcast_time(p: int, size_bytes: float, link: LinkSpec) -> float:
     """Scatter + allgather broadcast (van de Geijn), bandwidth-optimal for
     large messages: ~``2 M / B`` with ``log p + p`` latency terms."""
     _check(p, size_bytes)
-    if p == 1:
-        return 0.0
-    bw = link.total_bandwidth
-    scatter = math.ceil(math.log2(p)) * link.latency + (p - 1) / p * size_bytes / bw
-    return scatter + allgather_time(p, size_bytes, link)
+    return kernels.broadcast_time(
+        p, size_bytes, link.latency, link.total_bandwidth
+    )
 
 
 def paper_allreduce_estimate(size_bytes: float, link: LinkSpec) -> float:
@@ -144,7 +140,7 @@ def paper_allreduce_estimate(size_bytes: float, link: LinkSpec) -> float:
     """
     if size_bytes < 0:
         raise ConfigurationError(f"negative message size: {size_bytes}")
-    return size_bytes / (link.total_bandwidth / 2.0)
+    return kernels.paper_allreduce_estimate(size_bytes, link.total_bandwidth)
 
 
 def algorithmic_bandwidth(p: int, size_bytes: float, link: LinkSpec) -> float:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro import units
+from repro import constants
 from repro.errors import ConfigurationError
 
 
@@ -60,10 +60,20 @@ class LinkSpec:
 
 
 #: One rail of EDR InfiniBand (100 Gb/s signalling -> 12.5 GB/s payload).
-EDR_RAIL = LinkSpec(latency=1.0 * units.US, bandwidth=12.5 * units.GB)
+EDR_RAIL = LinkSpec(
+    latency=constants.SUMMIT_INJECTION_LATENCY,
+    bandwidth=constants.SUMMIT_EDR_RAIL_BANDWIDTH,
+)
 
 #: Summit's dual-rail EDR NIC: 25 GB/s injection per node.
-SUMMIT_INJECTION = LinkSpec(latency=1.0 * units.US, bandwidth=12.5 * units.GB, rails=2)
+SUMMIT_INJECTION = LinkSpec(
+    latency=constants.SUMMIT_INJECTION_LATENCY,
+    bandwidth=constants.SUMMIT_EDR_RAIL_BANDWIDTH,
+    rails=constants.SUMMIT_INJECTION_RAILS,
+)
 
 #: NVLink 2.0 brick pair between GPUs inside a Summit node (per direction).
-NVLINK2 = LinkSpec(latency=0.7 * units.US, bandwidth=50 * units.GB)
+NVLINK2 = LinkSpec(
+    latency=constants.SUMMIT_NVLINK_LATENCY,
+    bandwidth=constants.SUMMIT_NVLINK_BANDWIDTH,
+)

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 import networkx as nx
 
 from repro.errors import ConfigurationError
-from repro.network.link import LinkSpec
+from repro.network.link import EDR_RAIL, LinkSpec
 
 
 @dataclass(frozen=True)
@@ -50,7 +50,7 @@ class FatTreeSpec:
     radix: int = 36
     levels: int = 3
     taper: float = 1.0
-    link: LinkSpec = LinkSpec(latency=1.0e-6, bandwidth=12.5e9)
+    link: LinkSpec = EDR_RAIL
 
     def __post_init__(self) -> None:
         if self.hosts < 1:

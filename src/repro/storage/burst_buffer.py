@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro import units
+from repro import constants
 from repro.errors import CapacityError, ConfigurationError
 from repro.storage.dataset import Dataset, ShardingPlan
 from repro.storage.filesystem import SharedFileSystem
@@ -124,7 +124,7 @@ class CachingLayer:
 
 #: Summit's per-node burst buffer: 1.6 TB, ~6 GB/s read / ~2.1 GB/s write.
 SUMMIT_NVME = BurstBuffer(
-    capacity_bytes=1.6 * units.TB,
-    read_bandwidth=6.0 * units.GB,
-    write_bandwidth=2.1 * units.GB,
+    capacity_bytes=constants.NVME_CAPACITY_BYTES,
+    read_bandwidth=constants.NVME_READ_BANDWIDTH,
+    write_bandwidth=constants.NVME_WRITE_BANDWIDTH,
 )

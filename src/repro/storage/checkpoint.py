@@ -11,9 +11,9 @@ intervals and less lost work.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
+from repro.cost import kernels
 from repro.errors import ConfigurationError
 from repro.storage.burst_buffer import BurstBuffer
 from repro.storage.filesystem import SharedFileSystem
@@ -38,7 +38,7 @@ class CheckpointPlan:
     @property
     def system_mtbf(self) -> float:
         """Job-wide MTBF: failures compose across nodes."""
-        return self.node_mtbf_seconds / self.n_nodes
+        return kernels.system_mtbf(self.node_mtbf_seconds, self.n_nodes)
 
     def write_time_nvme(self, nvme: BurstBuffer) -> float:
         """Checkpoint to node-local NVMe: each node writes independently."""
@@ -46,9 +46,10 @@ class CheckpointPlan:
 
     def write_time_shared(self, fs: SharedFileSystem) -> float:
         """Checkpoint to the shared FS: nodes share aggregate bandwidth."""
-        per_node = min(
+        per_node = kernels.shared_pool_bandwidth(
+            fs.aggregate_write_bandwidth,
             fs.per_client_read_bandwidth,  # symmetric client cap
-            fs.aggregate_write_bandwidth / self.n_nodes,
+            self.n_nodes,
         )
         return self.state_bytes_per_node / per_node
 
@@ -56,7 +57,7 @@ class CheckpointPlan:
         """Young's optimal checkpoint interval: sqrt(2 * delta * MTBF)."""
         if write_time <= 0:
             raise ConfigurationError("write time must be positive")
-        return math.sqrt(2.0 * write_time * self.system_mtbf)
+        return kernels.young_interval(write_time, self.system_mtbf)
 
     def overhead_fraction(self, write_time: float, interval: float | None = None) -> float:
         """Expected fraction of wall-clock lost to checkpointing + rework.
@@ -69,8 +70,7 @@ class CheckpointPlan:
         tau = interval if interval is not None else self.optimal_interval(write_time)
         if tau <= 0:
             raise ConfigurationError("interval must be positive")
-        mtbf = self.system_mtbf
-        return write_time / tau + (tau / 2.0 + write_time) / mtbf
+        return kernels.young_overhead(write_time, tau, self.system_mtbf)
 
     def compare_tiers(
         self, nvme: BurstBuffer, fs: SharedFileSystem

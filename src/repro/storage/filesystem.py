@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro import units
+from repro import constants
+from repro.cost import kernels
 from repro.errors import ConfigurationError
 
 
@@ -62,7 +63,9 @@ class SharedFileSystem:
         aggregate = self.aggregate_read_bandwidth
         if random_access:
             aggregate *= self.random_read_derate
-        return min(self.per_client_read_bandwidth, aggregate / n_clients)
+        return kernels.shared_pool_bandwidth(
+            aggregate, self.per_client_read_bandwidth, n_clients
+        )
 
     def read_time(
         self, size_bytes: float, n_clients: int = 1, random_access: bool = False
@@ -78,8 +81,8 @@ class SharedFileSystem:
 #: Summit's center-wide GPFS ("Alpine"): 2.5 TB/s read, 250 PB.
 SUMMIT_GPFS = SharedFileSystem(
     name="Alpine (GPFS)",
-    aggregate_read_bandwidth=2.5 * units.TB,
-    aggregate_write_bandwidth=2.5 * units.TB,
-    per_client_read_bandwidth=12.5 * units.GB,
-    capacity_bytes=250 * units.PB,
+    aggregate_read_bandwidth=constants.GPFS_AGGREGATE_READ_BANDWIDTH,
+    aggregate_write_bandwidth=constants.GPFS_AGGREGATE_WRITE_BANDWIDTH,
+    per_client_read_bandwidth=constants.GPFS_PER_CLIENT_BANDWIDTH,
+    capacity_bytes=constants.GPFS_CAPACITY_BYTES,
 )

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import units
+from repro.cost import kernels
 from repro.errors import ConfigurationError
 from repro.storage.burst_buffer import BurstBuffer
 from repro.storage.filesystem import SharedFileSystem
@@ -51,9 +52,13 @@ def read_requirement(
         raise ConfigurationError("bytes_per_sample must be positive")
     if n_devices < 1:
         raise ConfigurationError("need at least one device")
-    per_device = samples_per_second_per_device * bytes_per_sample
+    per_device = kernels.per_device_read_bandwidth(
+        samples_per_second_per_device, bytes_per_sample
+    )
     return IoRequirement(
-        required_bandwidth=per_device * n_devices,
+        required_bandwidth=kernels.required_read_bandwidth(
+            samples_per_second_per_device, bytes_per_sample, n_devices
+        ),
         per_device_bandwidth=per_device,
         n_devices=n_devices,
     )
@@ -101,6 +106,10 @@ def io_feasibility(
     nvme_bw = nvme.aggregate_read_bandwidth(n_nodes)
     return IoFeasibility(
         requirement=requirement,
-        shared_fs_margin=fs_bw / requirement.required_bandwidth,
-        nvme_margin=nvme_bw / requirement.required_bandwidth,
+        shared_fs_margin=kernels.bandwidth_margin(
+            fs_bw, requirement.required_bandwidth
+        ),
+        nvme_margin=kernels.bandwidth_margin(
+            nvme_bw, requirement.required_bandwidth
+        ),
     )

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.cost import kernels
 from repro.errors import ConfigurationError
 from repro.training.job import TrainingJob
 
@@ -65,7 +66,9 @@ class ConvergenceModel:
     def samples_to_target(self, batch: int, optimizer: str = "sgd") -> float:
         if batch < 1:
             raise ConfigurationError("batch must be >= 1")
-        return self.min_samples * (1.0 + batch / self.critical_batch(optimizer))
+        return kernels.two_regime_samples(
+            batch, self.min_samples, self.critical_batch(optimizer)
+        )
 
     def steps(self, batch: int, optimizer: str = "sgd") -> float:
         return self.samples_to_target(batch, optimizer) / batch

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.cost import CheckpointCostModel, CostBreakdown, kernels
 from repro.errors import ConfigurationError
 from repro.resilience.faults import DEFAULT_NODE_MTBF_SECONDS
 from repro.resilience.report import ResilienceReport
@@ -84,6 +85,30 @@ class GoodputModel:
 
     def optimal_interval(self, tier: str = "nvme") -> float:
         return self.plan().optimal_interval(self.write_time(tier))
+
+    def _write_rate(self, tier: str) -> float:
+        if tier == "nvme":
+            return self.nvme.write_bandwidth
+        if tier == "shared_fs":
+            return kernels.shared_pool_bandwidth(
+                self.shared_fs.aggregate_write_bandwidth,
+                self.shared_fs.per_client_read_bandwidth,
+                self.job.n_nodes,
+            )
+        raise ConfigurationError(
+            f"unknown storage tier {tier!r}; use 'nvme' or 'shared_fs'"
+        )
+
+    def breakdown(self, tier: str = "nvme") -> CostBreakdown:
+        """Structured checkpoint-economics breakdown for one tier, via the
+        :class:`~repro.cost.CheckpointCostModel` (sweepable over node-count
+        or MTBF axes with :func:`repro.cost.sweep`)."""
+        return CheckpointCostModel().evaluate(
+            state_bytes_per_node=self.checkpoint_bytes_per_node(),
+            write_rate=self._write_rate(tier),
+            n_nodes=self.job.n_nodes,
+            node_mtbf_seconds=self.node_mtbf_seconds,
+        )
 
     # -- analytic goodput --------------------------------------------------------
 

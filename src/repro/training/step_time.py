@@ -13,22 +13,26 @@ The jitter term is the synchronous-SGD straggler penalty: every step waits
 for the slowest of ``n_ranks`` ranks, and the expected maximum of n i.i.d.
 rank times exceeds the mean by ~``sigma * sqrt(2 ln n)``.
 
-where the allreduce is modelled as an intra-node NVLink ring followed by an
+The allreduce is modelled as an intra-node NVLink ring followed by an
 inter-node InfiniBand ring over the node count (the NCCL hierarchical
 scheme), and model-parallel activation exchange is added to each micro-step.
+
+The formulas themselves live in the :mod:`repro.cost` layer:
+:func:`step_breakdown` binds the configuration into the step composite from
+:func:`repro.cost.step_cost_model` and evaluates it on the scalar path —
+bit-identical to the handwritten decomposition it replaced. Use the
+composite directly (``step_cost_model(...)`` + :func:`repro.cost.sweep`) to
+evaluate whole node-count grids in one vectorized pass.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError
+from repro.cost import CompositeCostModel, step_cost_model
 from repro.machine.gpu import Precision
-from repro.machine.node import NodeSpec
 from repro.machine.system import System
 from repro.models.base import ModelSpec
-from repro.network.collectives import allreduce_time
 from repro.network.link import NVLINK2, LinkSpec
 from repro.training.parallelism import DataSource, ParallelismPlan
 
@@ -75,22 +79,25 @@ class StepBreakdown:
         return busy / self.total if self.total else 0.0
 
 
-def _data_rate_per_node(
-    system: System, n_nodes: int, source: DataSource
-) -> float:
-    """Achievable input-read bytes/s per node for the chosen source."""
-    if source is DataSource.MEMORY:
-        return float("inf")
-    if source is DataSource.NVME:
-        nvme = system.nvme
-        if nvme is None:
-            raise ConfigurationError(
-                f"{system.name} nodes have no NVMe burst buffer"
-            )
-        return nvme.read_bandwidth
-    if system.shared_fs is None:
-        raise ConfigurationError(f"{system.name} has no shared filesystem")
-    return system.shared_fs.read_bandwidth(n_nodes, random_access=True)
+def step_cost(
+    model: ModelSpec,
+    system: System,
+    plan: ParallelismPlan,
+    data_source: DataSource = DataSource.NVME,
+    precision: Precision = Precision.MIXED,
+    intra_node_link: LinkSpec = NVLINK2,
+) -> CompositeCostModel:
+    """The step-time composite for this configuration, ready to evaluate
+    at one node count (``evaluate(n_nodes=...)``) or across a whole grid
+    (:func:`repro.cost.sweep` over an ``n_nodes`` axis)."""
+    return step_cost_model(
+        model,
+        system,
+        plan,
+        data_source=data_source,
+        precision=precision,
+        intra_node_link=intra_node_link,
+    )
 
 
 def step_breakdown(
@@ -104,87 +111,20 @@ def step_breakdown(
 ) -> StepBreakdown:
     """Compute the step-time decomposition for a job configuration."""
     system.require_nodes(n_nodes)
-    node: NodeSpec = system.node
-    if not node.has_gpus:
-        raise ConfigurationError(f"{system.name} main partition has no GPUs")
-    if plan.model_shards > node.gpu_count and plan.model_shards % node.gpu_count:
-        raise ConfigurationError(
-            "multi-node model parallelism must use whole nodes per replica"
-        )
-
-    n_gpus = n_nodes * node.gpu_count
-    replicas = plan.replicas(n_gpus)
-    k = plan.accumulation_steps
-
-    # -- compute -----------------------------------------------------------------
-    # Model-parallel shards split the per-sample FLOPs evenly.
-    compute_micro = model.step_compute_time(
-        node.gpus, plan.local_batch, precision
-    ) / plan.model_shards
-    compute = k * compute_micro
-
-    # -- model-parallel activation exchange ---------------------------------------
-    if plan.model_shards > 1:
-        act_bytes = model.activation_bytes_per_sample or model.bytes_per_sample
-        boundary_bytes = (
-            2.0  # forward activations + backward activation gradients
-            * act_bytes
-            * plan.local_batch
-            * (plan.model_shards - 1)
-            / plan.model_shards
-        )
-        link = intra_node_link if plan.model_shards <= node.gpu_count else (
-            system.interconnect
-        )
-        mp_exchange = k * link.transfer_time(boundary_bytes)
-    else:
-        mp_exchange = 0.0
-
-    # -- gradient allreduce --------------------------------------------------------
-    # Each shard owns 1/model_shards of the parameters.
-    message = model.gradient_bytes / plan.model_shards
-    replicas_per_node = max(1, node.gpu_count // plan.model_shards)
-    comm = 0.0
-    if replicas_per_node > 1:
-        comm += allreduce_time(
-            replicas_per_node, message, intra_node_link, plan.allreduce_algorithm
-        )
-    nodes_in_ring = n_nodes if plan.model_shards <= node.gpu_count else (
-        n_nodes // (plan.model_shards // node.gpu_count)
+    cost = step_cost(
+        model, system, plan,
+        data_source=data_source,
+        precision=precision,
+        intra_node_link=intra_node_link,
     )
-    if nodes_in_ring > 1:
-        comm += allreduce_time(
-            nodes_in_ring, message, system.interconnect, plan.allreduce_algorithm
-        )
-    comm_exposed = max(0.0, comm - plan.overlap_fraction * compute_micro)
-
-    # -- input pipeline --------------------------------------------------------------
-    samples_per_node_step = (
-        plan.local_batch * k * replicas_per_node
-        if plan.model_shards <= node.gpu_count
-        else plan.local_batch * k / (plan.model_shards // node.gpu_count)
-    )
-    rate = _data_rate_per_node(system, n_nodes, data_source)
-    io = (
-        0.0
-        if rate == float("inf")
-        else samples_per_node_step * model.bytes_per_sample / rate
-    )
-    io_exposed = max(0.0, io - plan.io_overlap_fraction * compute)
-
-    # -- synchronous-SGD straggler penalty ------------------------------------------
-    if plan.compute_jitter_cv > 0.0 and n_gpus > 1:
-        straggler = compute * plan.compute_jitter_cv * math.sqrt(2.0 * math.log(n_gpus))
-    else:
-        straggler = 0.0
-
+    bd = cost.evaluate(n_nodes=n_nodes)
     return StepBreakdown(
-        compute=compute,
-        comm=comm,
-        comm_exposed=comm_exposed,
-        io=io,
-        io_exposed=io_exposed,
-        mp_exchange=mp_exchange,
-        straggler=straggler,
-        samples=replicas * plan.local_batch * k,
+        compute=bd["compute"],
+        comm=bd["comm"],
+        comm_exposed=bd["comm_exposed"],
+        io=bd["io"],
+        io_exposed=bd["io_exposed"],
+        mp_exchange=bd["mp_exchange"],
+        straggler=bd["straggler"],
+        samples=bd["samples"],
     )

@@ -51,6 +51,18 @@ def format_bytes(n: float) -> str:
 
     >>> format_bytes(1.4e9)
     '1.40 GB'
+    >>> format_bytes(0)
+    '0 B'
+    >>> format_bytes(0.25)
+    '0.25 B'
+    >>> format_bytes(3.2e18)
+    '3.20 EB'
+    >>> format_bytes(7e22)
+    '70.00 ZB'
+    >>> format_bytes(-1)
+    Traceback (most recent call last):
+        ...
+    ValueError: expected a non-negative quantity, got -1
     """
     return _format(n, "B")
 
@@ -60,6 +72,10 @@ def format_rate(n: float) -> str:
 
     >>> format_rate(2.5e12)
     '2.50 TB/s'
+    >>> format_rate(0)
+    '0 B/s'
+    >>> format_rate(0.5)
+    '0.5 B/s'
     """
     return _format(n, "B/s")
 
@@ -69,6 +85,8 @@ def format_flops(n: float) -> str:
 
     >>> format_flops(1.13e18)
     '1.13 EFLOP/s'
+    >>> format_flops(0)
+    '0 FLOP/s'
     """
     return _format(n, "FLOP/s")
 
@@ -93,6 +111,8 @@ def format_time(seconds: float) -> str:
 
 
 _PREFIXES = [
+    (1e24, "Y"),
+    (1e21, "Z"),
     (EXA, "E"),
     (PETA, "P"),
     (TERA, "T"),
@@ -103,8 +123,22 @@ _PREFIXES = [
 
 
 def _format(n: float, suffix: str) -> str:
+    """Shared prefix logic; the edge cases are part of the contract:
+
+    - zero renders without a spurious decimal tail (``'0 B'``);
+    - sub-unit values (0 < n < 1) keep their significant digits instead of
+      rounding to ``'0.00'``;
+    - values beyond the largest prefix (> 1000 YB) fall back to scientific
+      notation rather than printing absurd mantissas.
+    """
     if n < 0:
         raise ValueError(f"expected a non-negative quantity, got {n!r}")
+    if n == 0:
+        return f"0 {suffix}"
+    if n < 1:
+        return f"{n:.3g} {suffix}"
+    if n >= 1000 * _PREFIXES[0][0]:
+        return f"{n:.2e} {suffix}"
     for scale, prefix in _PREFIXES:
         if n >= scale:
             return f"{n / scale:.2f} {prefix}{suffix}"

@@ -1,0 +1,189 @@
+"""Property suite: the vectorized sweep path is element-wise **bit-identical**
+to the scalar evaluate path, for every cost model, over randomized grids.
+
+This is the contract that licenses using :func:`repro.cost.sweep` (NumPy
+broadcasting) for paper-figure reproduction: any grid point must give exactly
+the float the handwritten scalar formula gives.
+"""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps.extreme_scale import EXTREME_SCALE_APPS
+from repro.cost import (
+    AllreduceCostModel,
+    CheckpointCostModel,
+    ConvergenceCostModel,
+    DataParallelCrossoverModel,
+    IoRequirementModel,
+    RooflineCostModel,
+    step_cost_model,
+    sweep,
+    sweep_scalar,
+)
+from repro.machine.summit import SUMMIT_NODE_COUNT, summit
+from repro.network.link import NVLINK2
+
+from .hypothesis_settings import QUICK_SETTINGS, STANDARD_SETTINGS
+
+SYSTEM = summit(include_high_mem=False)
+
+
+def assert_bit_identical(model, grid, **fixed):
+    """sweep() and sweep_scalar() agree bitwise on every term of every point."""
+    fast = sweep(model, grid, **fixed)
+    slow = sweep_scalar(model, grid, **fixed)
+    assert fast.shape == slow.shape
+    for term in fast.breakdown:
+        fast_grid = np.broadcast_to(
+            np.asarray(fast.breakdown[term], dtype=float), fast.shape)
+        slow_grid = slow.term(term)
+        assert np.array_equal(fast_grid, slow_grid), (
+            f"{model.name}.{term}: vectorized != scalar"
+        )
+
+
+# Axis strategies: unique sorted values keep grids small but irregular.
+
+def axis(elements, min_size=1, max_size=6):
+    return st.lists(elements, min_size=min_size, max_size=max_size,
+                    unique=True).map(sorted)
+
+
+node_counts = axis(st.integers(min_value=1, max_value=SUMMIT_NODE_COUNT))
+rank_counts = axis(st.integers(min_value=1, max_value=SUMMIT_NODE_COUNT))
+message_sizes = axis(st.floats(min_value=1e3, max_value=4e9,
+                               allow_nan=False, allow_infinity=False))
+bandwidths = axis(st.floats(min_value=1e9, max_value=1e12,
+                            allow_nan=False, allow_infinity=False))
+positive = st.floats(min_value=1e-9, max_value=1e3,
+                     allow_nan=False, allow_infinity=False)
+
+
+class TestAllreduceParity:
+    @STANDARD_SETTINGS
+    @given(
+        p=rank_counts,
+        size=message_sizes,
+        latency=st.floats(min_value=1e-9, max_value=1e-3),
+        bandwidth=st.floats(min_value=1e9, max_value=1e12),
+        algorithm=st.sampled_from(
+            ["ring", "recursive_doubling", "binomial_tree", "best"]),
+    )
+    def test_allreduce_grid(self, p, size, latency, bandwidth, algorithm):
+        assert_bit_identical(
+            AllreduceCostModel(),
+            {"p": p, "message_bytes": size},
+            latency=latency, bandwidth=bandwidth,
+            allreduce_algorithm=algorithm,
+        )
+
+    @STANDARD_SETTINGS
+    @given(p=rank_counts, size=message_sizes, bandwidth=bandwidths)
+    def test_crossover_grid(self, p, size, bandwidth):
+        assert_bit_identical(
+            DataParallelCrossoverModel(),
+            {"n_ranks": p, "message_bytes": size, "bandwidth": bandwidth},
+            latency=1e-6, compute_time=0.05,
+        )
+
+
+class TestStepModelParity:
+    @STANDARD_SETTINGS
+    @given(
+        key=st.sampled_from(sorted(EXTREME_SCALE_APPS)),
+        data=st.data(),
+    )
+    def test_step_composite_over_valid_node_counts(self, key, data):
+        app = EXTREME_SCALE_APPS[key]
+        # node counts must let GPUs divide evenly into model-parallel shards
+        span = max(1, app.plan.model_shards // 6)
+        multiplier = axis(
+            st.integers(min_value=1, max_value=SUMMIT_NODE_COUNT // span))
+        nodes = [m * span for m in data.draw(multiplier)]
+        model = step_cost_model(
+            app.model_factory(), SYSTEM, app.plan,
+            data_source=app.data_source, intra_node_link=NVLINK2,
+        )
+        assert_bit_identical(model, {"n_nodes": nodes})
+
+
+class TestStorageAndAnalysisParity:
+    @STANDARD_SETTINGS
+    @given(
+        state=axis(st.floats(min_value=1e6, max_value=1e12)),
+        nodes=node_counts,
+        write_rate=st.floats(min_value=1e6, max_value=1e11),
+        mtbf=st.floats(min_value=3600.0, max_value=1e9),
+    )
+    def test_checkpoint_grid(self, state, nodes, write_rate, mtbf):
+        assert_bit_identical(
+            CheckpointCostModel(),
+            {"state_bytes_per_node": state, "n_nodes": nodes},
+            write_rate=write_rate, node_mtbf_seconds=mtbf,
+        )
+
+    @STANDARD_SETTINGS
+    @given(
+        samples=axis(st.floats(min_value=1e-3, max_value=1e6)),
+        devices=axis(st.integers(min_value=1, max_value=30000)),
+        bytes_per_sample=st.floats(min_value=1.0, max_value=1e9),
+    )
+    def test_io_requirement_grid(self, samples, devices, bytes_per_sample):
+        assert_bit_identical(
+            IoRequirementModel(),
+            {"samples_per_second_per_device": samples, "n_devices": devices},
+            bytes_per_sample=bytes_per_sample,
+        )
+
+    @STANDARD_SETTINGS
+    @given(
+        flops=axis(st.floats(min_value=1e3, max_value=1e15)),
+        bytes_moved=axis(st.floats(min_value=1.0, max_value=1e12)),
+        peak=st.floats(min_value=1e9, max_value=1e15),
+        membw=st.floats(min_value=1e9, max_value=1e13),
+    )
+    def test_roofline_grid(self, flops, bytes_moved, peak, membw):
+        assert_bit_identical(
+            RooflineCostModel(),
+            {"flops": flops, "bytes_moved": bytes_moved},
+            peak_flops=peak, memory_bandwidth=membw,
+        )
+
+    @STANDARD_SETTINGS
+    @given(
+        batch=axis(st.integers(min_value=1, max_value=1 << 20)),
+        min_samples=st.floats(min_value=1e3, max_value=1e10),
+        critical_batch=st.floats(min_value=1.0, max_value=1e6),
+    )
+    def test_convergence_grid(self, batch, min_samples, critical_batch):
+        assert_bit_identical(
+            ConvergenceCostModel(),
+            {"batch": batch},
+            min_samples=min_samples, critical_batch=critical_batch,
+        )
+
+
+class TestSweepStructure:
+    @QUICK_SETTINGS
+    @given(
+        batches=axis(st.integers(min_value=1, max_value=1 << 16), max_size=4),
+        min_samples=axis(st.floats(min_value=1e3, max_value=1e9), max_size=4),
+    )
+    def test_multi_axis_shape_and_at(self, batches, min_samples):
+        r = sweep(
+            ConvergenceCostModel(),
+            {"batch": batches, "min_samples": min_samples},
+            critical_batch=4096.0,
+        )
+        assert r.shape == (len(batches), len(min_samples))
+        for i in range(len(batches)):
+            for j in range(len(min_samples)):
+                point = r.at(i, j)
+                direct = ConvergenceCostModel().evaluate(
+                    batch=batches[i], min_samples=min_samples[j],
+                    critical_batch=4096.0,
+                )
+                for term in direct:
+                    assert point[term] == direct[term]

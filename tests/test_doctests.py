@@ -9,6 +9,9 @@ import pytest
 MODULES = [
     "repro.units",
     "repro.core.api",
+    "repro.cost.kernels",
+    "repro.cost.breakdown",
+    "repro.cost.sweep",
     "repro.ml.mlp",
     "repro.ml.surrogate",
     "repro.optim.sgd",
