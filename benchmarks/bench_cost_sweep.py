@@ -20,6 +20,7 @@ import time
 
 import numpy as np
 import pytest
+from _record import record
 from conftest import report
 
 from repro.constants import (
@@ -114,6 +115,17 @@ def test_cost_sweep_vectorized_vs_scalar(benchmark):
             ("bit-identical", "yes", "yes"),
         ],
         header=("metric", "target", "measured"),
+    )
+    record(
+        "cost_sweep",
+        {
+            "grid_points": n_points,
+            "scalar_seconds": t_scalar,
+            "vectorized_seconds": t_vec,
+            "speedup": speedup,
+            "min_speedup": MIN_SPEEDUP,
+        },
+        wall_seconds=t_vec + t_scalar,
     )
 
 

@@ -8,6 +8,7 @@ node-hours, the alternative metric Section II-C discusses.
 """
 
 import numpy as np
+from _record import record, timed
 from conftest import report
 
 from repro.portfolio import generate_portfolio
@@ -33,7 +34,8 @@ def test_scheduler_policy_ablation(benchmark):
             for policy in (Policy.FIFO, Policy.CAPABILITY, Policy.SMALLEST_FIRST)
         }
 
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    with timed() as t:
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
 
     cap = results[Policy.CAPABILITY]
     fifo = results[Policy.FIFO]
@@ -42,6 +44,21 @@ def test_scheduler_policy_ablation(benchmark):
     assert small.mean_wait_wide > cap.mean_wait_wide
     assert cap.utilization > 0.8
 
+    record(
+        "scheduler_ablation",
+        {
+            "n_jobs": len(jobs),
+            **{
+                p.value: {
+                    "utilization": r.utilization,
+                    "mean_wait_seconds": r.mean_wait,
+                    "mean_wait_wide_seconds": r.mean_wait_wide,
+                }
+                for p, r in results.items()
+            },
+        },
+        wall_seconds=t.seconds,
+    )
     report(
         "Scheduler ablation — 1000-job day on Summit",
         [
@@ -61,10 +78,20 @@ def test_scheduler_delivered_ai_hours(benchmark):
     def run():
         return Scheduler(4608, Policy.CAPABILITY).run(jobs)
 
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    with timed() as t:
+        result = benchmark.pedantic(run, rounds=1, iterations=1)
 
     assert 0.2 < result.ai_share < 0.8
 
+    record(
+        "scheduler_delivered_ai_hours",
+        {
+            "delivered_node_hours": result.delivered_node_hours,
+            "ai_node_hours": result.ai_node_hours,
+            "ai_share": result.ai_share,
+        },
+        wall_seconds=t.seconds,
+    )
     report(
         "Delivered node-hours by AI/ML usage (Section II-C's alternative metric)",
         [

@@ -8,6 +8,7 @@ Plus: staging and per-epoch reshuffle cost on the burst buffer.
 """
 
 import pytest
+from _record import record, timed
 from conftest import report
 
 from repro.constants import (
@@ -27,7 +28,8 @@ def test_section6b_read_requirement(benchmark):
     def compute():
         return sim.io_report("resnet50")
 
-    result = benchmark(compute)
+    with timed() as t:
+        result = benchmark(compute)
 
     assert result["required"] == pytest.approx(20e12, rel=0.02)
     assert result["shared_fs"] == pytest.approx(GPFS_AGGREGATE_READ_BANDWIDTH)
@@ -35,6 +37,17 @@ def test_section6b_read_requirement(benchmark):
     assert not result["shared_fs_feasible"]
     assert result["nvme_feasible"]
 
+    record(
+        "section6b_read_requirement",
+        {
+            "required_bandwidth": result["required"],
+            "shared_fs_bandwidth": result["shared_fs"],
+            "nvme_bandwidth": result["nvme"],
+            "shared_fs_feasible": result["shared_fs_feasible"],
+            "nvme_feasible": result["nvme_feasible"],
+        },
+        wall_seconds=t.seconds,
+    )
     report(
         "Section VI-B — full-Summit ResNet-50 input-read feasibility",
         [
@@ -62,7 +75,8 @@ def test_section6b_staging_and_shuffle_costs(benchmark):
     def compute():
         return staging.staging_time(), staging.epoch_read_time(), staging.reshuffle_time()
 
-    stage_t, epoch_t, shuffle_t = benchmark(compute)
+    with timed() as t:
+        stage_t, epoch_t, shuffle_t = benchmark(compute)
 
     # staging happens once per job; epoch reads are much cheaper
     assert epoch_t < stage_t
@@ -70,6 +84,15 @@ def test_section6b_staging_and_shuffle_costs(benchmark):
     # local epoch read it replaces
     assert shuffle_t > epoch_t
 
+    record(
+        "section6b_staging_shuffle",
+        {
+            "staging_seconds": stage_t,
+            "epoch_read_seconds": epoch_t,
+            "reshuffle_seconds": shuffle_t,
+        },
+        wall_seconds=t.seconds,
+    )
     report(
         "Section VI-B — burst-buffer lifecycle costs (ImageNet, 4608 nodes)",
         [

@@ -13,7 +13,13 @@ Commands mirror the paper's strands:
   Section IV-B application, with empirical Young/Daly validation;
 - ``sweep``     — vectorized cost-model sweep: per-app step-time breakdown
   over a node-count grid, or the Section VI-B comm-vs-compute crossover
-  surface (``--crossover``).
+  surface (``--crossover``);
+- ``telemetry`` — run an instrumented scenario (workflow DAG, batch
+  scheduler, or checkpoint-restart job) and export a Perfetto-loadable
+  Chrome trace plus a metrics summary.
+
+``resilience``, ``sweep`` and ``telemetry`` accept ``--json`` for
+machine-readable output.
 """
 
 from __future__ import annotations
@@ -101,6 +107,19 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
         empirical=not args.analytic_only,
         seed=args.seed,
     )
+    if args.json:
+        import dataclasses
+        import json
+
+        payload = dataclasses.asdict(report)
+        payload["goodput_fraction"] = report.goodput_fraction
+        payload["lost_node_hours"] = report.lost_node_hours
+        payload["overhead_fraction"] = report.overhead_fraction
+        if not args.analytic_only:
+            payload["agreement"] = report.agreement()
+            payload["matches_analytical"] = report.matches_analytical()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(report.format())
     if not args.analytic_only:
         agreement = report.agreement()
@@ -137,6 +156,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cross = crossover_nodes(result)
         paper = result.term("paper_estimate")[:, 0]
         ring = result.term("comm")
+        if args.json:
+            import json
+
+            payload = {
+                "mode": "crossover",
+                "compute_ms": args.compute_ms,
+                "nodes": nodes,
+                "rows": [
+                    {
+                        "message_bytes": float(size),
+                        "paper_estimate_seconds": float(paper[i]),
+                        "ring_at_max_nodes_seconds": float(ring[i, -1]),
+                        "crossover_nodes": (
+                            None if np.isnan(cross[i]) else int(cross[i])
+                        ),
+                    }
+                    for i, size in enumerate(sizes)
+                ],
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
         print(
             f"Section VI-B crossover surface "
             f"(compute budget {args.compute_ms:g} ms/step)"
@@ -157,6 +197,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     app = get_app(args.app)
     result = app.sweep_nodes(nodes)
     total = result.total()
+    if args.json:
+        import json
+
+        payload = {
+            "mode": "app",
+            "app": app.key,
+            "nodes": nodes,
+            "rows": [
+                {
+                    "nodes": n,
+                    **{term: float(result.at(i)[term])
+                       for term in result.breakdown},
+                    "total_seconds": float(total[i]),
+                }
+                for i, n in enumerate(nodes)
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(f"{app.key}: step-time sweep over {len(nodes)} node counts "
           f"(one vectorized pass)")
     print(f"{'nodes':>7}  {'compute':>9}  {'comm_exp':>9}  {'io_exp':>9}  "
@@ -170,6 +229,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{bd['straggler'] * 1e3:>8.2f}m  {total[i] * 1e3:>8.2f}m  "
             f"{bd['samples'] / total[i]:>12.0f}"
         )
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.telemetry import chrome_trace, summary, write_chrome_trace
+    from repro.telemetry.scenarios import run_scenario
+
+    scenario = run_scenario(args.scenario, seed=args.seed)
+    tel = scenario.telemetry
+    if args.out:
+        write_chrome_trace(tel, args.out)
+    if args.json:
+        import json
+
+        trace = chrome_trace(tel)
+        payload = {
+            "scenario": scenario.name,
+            "seed": args.seed,
+            "out": args.out,
+            "n_trace_events": len(trace["traceEvents"]),
+            "n_spans": len(tel.finished_spans()),
+            "n_instants": len(tel.instants),
+            "results": scenario.results,
+            "metrics": tel.metrics.as_dict(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"telemetry scenario {scenario.name!r} (seed {args.seed})")
+    print()
+    for line in scenario.report_lines:
+        print(f"  {line}")
+    print()
+    print(summary(tel))
+    if args.out:
+        print()
+        print(f"Chrome trace written to {args.out} "
+              "(load in Perfetto / chrome://tracing)")
     return 0
 
 
@@ -252,6 +348,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--analytic-only", action="store_true",
                    help="skip the event-driven empirical simulation")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON")
     p.set_defaults(fn=_cmd_resilience)
 
     p = sub.add_parser(
@@ -271,7 +369,25 @@ def build_parser() -> argparse.ArgumentParser:
                         "default ResNet-50 and BERT-large)")
     p.add_argument("--compute-ms", type=float, default=50.0,
                    help="per-step compute budget in ms (crossover mode)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the sweep table as JSON")
     p.set_defaults(fn=_cmd_sweep)
+
+    from repro.telemetry.scenarios import SCENARIOS
+
+    p = sub.add_parser(
+        "telemetry",
+        help="run an instrumented scenario and export a Chrome trace",
+    )
+    p.add_argument("--scenario", choices=sorted(SCENARIOS), default="dag",
+                   help="which canned simulation to instrument")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, metavar="TRACE_JSON",
+                   help="write the Chrome trace-event file here "
+                        "(load in Perfetto / chrome://tracing)")
+    p.add_argument("--json", action="store_true",
+                   help="emit scenario results + metrics as JSON")
+    p.set_defaults(fn=_cmd_telemetry)
 
     return parser
 

@@ -10,6 +10,8 @@ path for paper-figure reproduction.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from typing import Any
 
@@ -19,6 +21,29 @@ from repro.cost.breakdown import CostBreakdown
 from repro.errors import ConfigurationError
 
 __all__ = ["SweepResult", "sweep", "sweep_scalar"]
+
+
+@contextmanager
+def _sweep_span(telemetry: Any, name: str, model: Any, size: int):
+    """Wall-clock span around one sweep, timed with ``perf_counter``.
+
+    Sweeps run outside any simulation, so span times are real seconds from
+    the start of the sweep rather than simulated time; the sweep also lands
+    in a ``cost.sweep_seconds`` histogram and a ``cost.points`` counter.
+    """
+    t0 = time.perf_counter()
+    span = telemetry.begin(
+        name, "sweep", facility="cost", track=model.name,
+        time=0.0, model=model.name, points=size,
+    )
+    try:
+        yield span
+    finally:
+        telemetry.end(span, time=time.perf_counter() - t0)
+        telemetry.metrics.histogram("cost.sweep_seconds").record(
+            span.duration
+        )
+        telemetry.metrics.counter("cost.points").inc(size)
 
 
 @dataclass(frozen=True)
@@ -119,13 +144,20 @@ class SweepResult:
         return "\n".join(lines)
 
 
-def sweep(model: Any, grid: dict[str, Any], **fixed: Any) -> SweepResult:
+def sweep(
+    model: Any, grid: dict[str, Any], telemetry: Any = None, **fixed: Any
+) -> SweepResult:
     """Evaluate ``model`` over the outer product of the ``grid`` axes.
 
     ``grid`` maps config keys to 1-D sequences; axes are combined with a
     *sparse* ``meshgrid`` (``indexing='ij'``) so an N-axis sweep broadcasts
     instead of materialising N full-rank copies of every input. ``fixed``
     entries are passed through as scalars.
+
+    A :class:`~repro.telemetry.Telemetry` handle wraps the whole sweep in a
+    wall-clock span on the ``cost`` facility; composite models additionally
+    get one span per stage (via ``evaluate_batch_staged``), so a slow sweep
+    shows which stage's formulas the time went into.
 
     >>> from repro.cost.models import ConvergenceCostModel
     >>> r = sweep(ConvergenceCostModel(), {"batch": [1024, 4096]},
@@ -146,16 +178,28 @@ def sweep(model: Any, grid: dict[str, Any], **fixed: Any) -> SweepResult:
     meshes = np.meshgrid(*axes.values(), indexing="ij", sparse=True)
     config = dict(fixed)
     config.update(zip(axes, meshes))
-    breakdown = model.evaluate_batch(**config)
+    if telemetry is None:
+        breakdown = model.evaluate_batch(**config)
+    else:
+        size = int(np.prod([len(v) for v in axes.values()]))
+        with _sweep_span(telemetry, "sweep", model, size):
+            if hasattr(model, "evaluate_batch_staged"):
+                breakdown = model.evaluate_batch_staged(telemetry, **config)
+            else:
+                breakdown = model.evaluate_batch(**config)
     return SweepResult(model=model.name, axes=axes, breakdown=breakdown)
 
 
-def sweep_scalar(model: Any, grid: dict[str, Any], **fixed: Any) -> SweepResult:
+def sweep_scalar(
+    model: Any, grid: dict[str, Any], telemetry: Any = None, **fixed: Any
+) -> SweepResult:
     """Reference implementation: a Python loop of scalar ``evaluate`` calls.
 
     Produces the same ``SweepResult`` as :func:`sweep`, element-wise
     bit-identical; exists to validate (and benchmark against) the
-    vectorized path.
+    vectorized path. ``telemetry`` wraps the loop in one wall-clock span
+    (no per-stage spans — the scalar path exists to be the plain
+    reference).
     """
     if not grid:
         raise ConfigurationError("sweep_scalar() needs at least one grid axis")
@@ -164,18 +208,25 @@ def sweep_scalar(model: Any, grid: dict[str, Any], **fixed: Any) -> SweepResult:
     names = tuple(axes)
     term_grids: dict[str, np.ndarray] = {}
     first: CostBreakdown | None = None
-    for flat_index in range(int(np.prod(shape))):
-        index = np.unravel_index(flat_index, shape)
-        config = dict(fixed)
-        for name, i in zip(names, index):
-            config[name] = axes[name][i].item()
-        bd = model.evaluate(**config)
-        if first is None:
-            first = bd
-            for term in bd:
-                term_grids[term] = np.empty(shape, dtype=float)
-        for term, value in bd.items():
-            term_grids[term][index] = value
+    size = int(np.prod(shape))
+    ctx = (
+        nullcontext()
+        if telemetry is None
+        else _sweep_span(telemetry, "sweep_scalar", model, size)
+    )
+    with ctx:
+        for flat_index in range(size):
+            index = np.unravel_index(flat_index, shape)
+            config = dict(fixed)
+            for name, i in zip(names, index):
+                config[name] = axes[name][i].item()
+            bd = model.evaluate(**config)
+            if first is None:
+                first = bd
+                for term in bd:
+                    term_grids[term] = np.empty(shape, dtype=float)
+            for term, value in bd.items():
+                term_grids[term][index] = value
     assert first is not None
     breakdown = CostBreakdown(
         model=first.model,

@@ -12,6 +12,7 @@ represents the work running on the failed node.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -76,15 +77,22 @@ class FailureInjector:
     target finishes or when it is itself interrupted.
 
     Deterministic: the same seed yields the same failure times.
+
+    When the engine carries a :class:`~repro.telemetry.Telemetry` handle
+    (or one is passed explicitly), every injection lands as a fault instant
+    event plus a ``faults.injected`` counter increment.
     """
 
     engine: Engine
     model: NodeFailureModel = field(default_factory=NodeFailureModel)
     seed: int = 0
     events: list[FailureEvent] = field(default_factory=list)
+    telemetry: Any = None  # Telemetry | None; falls back to engine.telemetry
 
     def __post_init__(self) -> None:
         self._rng = np.random.default_rng(self.seed)
+        if self.telemetry is None:
+            self.telemetry = self.engine.telemetry
 
     def attach(self, target: Process, n_nodes: int) -> Process:
         """Spawn the injector process stalking ``target``; returns it."""
@@ -112,6 +120,14 @@ class FailureInjector:
                     node=int(self._rng.integers(0, n_nodes)),
                 )
                 self.events.append(event)
+                if self.telemetry is not None:
+                    self.telemetry.instant(
+                        f"failure:node{event.node}", "fault",
+                        facility="faults", track=target.name,
+                        time=event.time, node=event.node,
+                        target=target.name,
+                    )
+                    self.telemetry.metrics.counter("faults.injected").inc()
                 target.interrupt(event)
         except Interrupt:
             return  # the sentinel noticed the target finished

@@ -60,11 +60,17 @@ def simulate_checkpoint_restart(
     node_mtbf_seconds: float,
     seed: int = 0,
     restart_delay: float = 0.0,
+    telemetry=None,
 ) -> RestartStats:
     """Run one job to completion under failure injection; return the stats.
 
     Deterministic in ``seed``: identical seeds give identical failure times
     and therefore identical wall-clock.
+
+    An optional :class:`~repro.telemetry.Telemetry` handle records one span
+    per compute segment, checkpoint write and restart delay (facility
+    "job"), the injector's fault instants, and restart counters/histograms;
+    the simulated timeline is identical with telemetry on or off.
     """
     if work_seconds <= 0:
         raise ConfigurationError("work_seconds must be positive")
@@ -73,7 +79,7 @@ def simulate_checkpoint_restart(
     if write_time < 0 or restart_delay < 0:
         raise ConfigurationError("write/restart times must be non-negative")
 
-    engine = Engine()
+    engine = Engine(telemetry)
     stats = {
         "failures": 0,
         "checkpoints": 0,
@@ -84,26 +90,66 @@ def simulate_checkpoint_restart(
 
     def job():
         committed = 0.0  # useful seconds safely behind a checkpoint
+        open_span = None  # telemetry span cut short by an interrupt
         while committed < work_seconds:
             target = min(committed + interval, work_seconds)
             segment_start = engine.now
             try:
                 # compute the segment, then (unless the job is done) commit it
+                if telemetry is not None:
+                    open_span = telemetry.begin(
+                        "segment", "compute", facility="job",
+                        track="progress", committed=committed,
+                    )
                 yield Timeout(target - committed)
+                if telemetry is not None:
+                    telemetry.end(open_span)
+                    open_span = None
                 if target < work_seconds:
+                    if telemetry is not None:
+                        open_span = telemetry.begin(
+                            "checkpoint", "checkpoint", facility="job",
+                            track="progress", committed=target,
+                        )
                     yield Timeout(write_time)
                     stats["checkpoints"] += 1
                     stats["checkpoint_seconds"] += write_time
+                    if telemetry is not None:
+                        telemetry.end(open_span)
+                        open_span = None
+                        telemetry.metrics.counter(
+                            "restart.checkpoints"
+                        ).inc()
                 committed = target
             except Interrupt:
                 stats["failures"] += 1
                 stats["lost_seconds"] += engine.now - segment_start
+                if telemetry is not None:
+                    if open_span is not None:
+                        telemetry.end(open_span, failed=True)
+                        open_span = None
+                    telemetry.metrics.counter("restart.failures").inc()
+                    telemetry.metrics.counter(
+                        "restart.lost_seconds"
+                    ).inc(engine.now - segment_start)
                 if restart_delay > 0:
                     restart_start = engine.now
                     try:
+                        if telemetry is not None:
+                            open_span = telemetry.begin(
+                                "restart", "restart", facility="job",
+                                track="progress",
+                            )
                         yield Timeout(restart_delay)
                     except Interrupt:
                         stats["failures"] += 1
+                        if telemetry is not None:
+                            telemetry.metrics.counter(
+                                "restart.failures"
+                            ).inc()
+                    if telemetry is not None:
+                        telemetry.end(open_span)
+                        open_span = None
                     stats["restart_seconds"] += engine.now - restart_start
         return committed
 

@@ -19,11 +19,15 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.scheduler.faults import FaultModel
 from repro.scheduler.jobs import Job
 from repro.scheduler.policy import Policy, priority_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Telemetry
 
 
 @dataclass(frozen=True)
@@ -70,7 +74,22 @@ class Scheduler:
         self.n_nodes = n_nodes
         self.policy = policy
 
-    def run(self, jobs: list[Job], faults: FaultModel | None = None) -> ScheduleResult:
+    def run(
+        self,
+        jobs: list[Job],
+        faults: FaultModel | None = None,
+        telemetry: "Telemetry | None" = None,
+    ) -> ScheduleResult:
+        """Simulate the schedule; optionally record telemetry.
+
+        With a :class:`~repro.telemetry.Telemetry` handle the run records
+        queue-wait spans, per-execution job spans (on per-node tracks when
+        the machine is small enough, one track per job otherwise),
+        failure/requeue instant events, busy-node and queue-depth counter
+        tracks, and the wait/failure metrics. The simulated schedule — and
+        every number in the returned :class:`ScheduleResult` — is identical
+        with telemetry on or off.
+        """
         if not jobs:
             raise ConfigurationError("no jobs to schedule")
         for job in jobs:
@@ -99,6 +118,35 @@ class Scheduler:
         starts: dict[str, float] = {}
         ends: dict[str, float] = {}
 
+        # -- telemetry state (inert when telemetry is None) --------------------
+        node_tracks = (
+            telemetry is not None and self.n_nodes <= telemetry.max_node_tracks
+        )
+        free_nodes = list(range(self.n_nodes)) if node_tracks else []
+        open_runs: dict[int, tuple[list, list[int]]] = {}  # seq -> spans, nodes
+        open_waits: dict[str, object] = {}  # job_id -> open wait span
+
+        def snap() -> None:
+            """Sample machine occupancy and queue depth counter tracks."""
+            assert telemetry is not None
+            telemetry.sample(
+                "machine.busy_nodes", self.n_nodes - idle, self.n_nodes,
+                facility="scheduler", time=now,
+            )
+            telemetry.sample(
+                "scheduler.queue_depth", len(queue),
+                facility="scheduler", time=now,
+            )
+
+        def enqueued(job: Job, requeue: bool = False) -> None:
+            """A job entered the queue: open its wait span."""
+            assert telemetry is not None
+            open_waits[job.job_id] = telemetry.begin(
+                f"wait:{job.job_id}", "queue-wait",
+                facility="scheduler", track="queue", time=now,
+                nodes=job.nodes, requeue=requeue,
+            )
+
         def launch(job: Job) -> None:
             """Start (or restart) a job; in fault mode, pre-draw its fate."""
             nonlocal idle, seq
@@ -117,8 +165,45 @@ class Scheduler:
                 else:
                     executions[seq] = (left, False)
                     heapq.heappush(running, (now + left, seq, job))
+            if telemetry is not None:
+                wait_span = open_waits.pop(job.job_id, None)
+                if wait_span is not None:
+                    ended = telemetry.end(wait_span, time=now)
+                    telemetry.metrics.histogram(
+                        "scheduler.wait_seconds"
+                    ).record(ended.duration)
+                if node_tracks:
+                    assigned = free_nodes[: job.nodes]
+                    del free_nodes[: job.nodes]
+                    spans = [
+                        telemetry.begin(
+                            job.job_id, "job", facility="machine",
+                            track=f"node {i}", time=now, nodes=job.nodes,
+                        )
+                        for i in assigned
+                    ]
+                else:
+                    assigned = []
+                    spans = [
+                        telemetry.begin(
+                            job.job_id, "job", facility="machine",
+                            track=job.job_id, time=now, nodes=job.nodes,
+                        )
+                    ]
+                open_runs[seq] = (spans, assigned)
             seq += 1
             idle -= job.nodes
+            if telemetry is not None:
+                snap()
+
+        def finish_execution(done_seq: int, job: Job, failed: bool) -> None:
+            """Close the execution's spans and return its node indices."""
+            assert telemetry is not None
+            spans, assigned = open_runs.pop(done_seq)
+            for span in spans:
+                telemetry.end(span, time=now, failed=failed)
+            free_nodes.extend(assigned)
+            free_nodes.sort()
 
         def planned_run(job: Job) -> float:
             """Run length the backfill window should assume for ``job``."""
@@ -164,15 +249,31 @@ class Scheduler:
             if now == float("inf"):
                 raise AssertionError("scheduler deadlock")
             while pending and pending[0].submit_time <= now:
-                queue.append(pending.pop(0))
+                job = pending.pop(0)
+                queue.append(job)
+                if telemetry is not None:
+                    telemetry.instant(
+                        f"submit:{job.job_id}", "scheduler",
+                        facility="scheduler", track="queue", time=now,
+                        nodes=job.nodes,
+                    )
+                    enqueued(job)
+            if telemetry is not None and queue:
+                snap()
             while running and running[0][0] <= now:
                 _, done_seq, job = heapq.heappop(running)
                 idle += job.nodes
                 if faults is None:
                     ends[job.job_id] = now
+                    if telemetry is not None:
+                        finish_execution(done_seq, job, failed=False)
+                        snap()
                     continue
                 run_seconds, failed = executions.pop(done_seq)
                 occupied_node_seconds += run_seconds * job.nodes
+                if telemetry is not None:
+                    finish_execution(done_seq, job, failed=failed)
+                    snap()
                 if not failed:
                     remaining[job.job_id] = 0.0
                     ends[job.job_id] = now
@@ -184,12 +285,36 @@ class Scheduler:
                 )
                 remaining[job.job_id] -= committed
                 lost_node_seconds += (run_seconds - committed) * job.nodes
+                if telemetry is not None:
+                    telemetry.instant(
+                        f"failure:{job.job_id}", "fault",
+                        facility="machine", track="faults", time=now,
+                        nodes=job.nodes,
+                        lost_node_seconds=(run_seconds - committed) * job.nodes,
+                    )
+                    telemetry.metrics.counter("scheduler.failures").inc()
+                    telemetry.metrics.counter(
+                        "scheduler.lost_node_seconds"
+                    ).inc((run_seconds - committed) * job.nodes)
                 if requeues[job.job_id] >= faults.max_requeues:
                     abandoned.append(job.job_id)
                     ends[job.job_id] = now
+                    if telemetry is not None:
+                        telemetry.instant(
+                            f"abandon:{job.job_id}", "scheduler",
+                            facility="scheduler", track="queue", time=now,
+                        )
                 else:
                     requeues[job.job_id] += 1
                     queue.append(job)
+                    if telemetry is not None:
+                        telemetry.instant(
+                            f"requeue:{job.job_id}", "scheduler",
+                            facility="scheduler", track="queue", time=now,
+                            attempt=requeues[job.job_id] + 1,
+                        )
+                        telemetry.metrics.counter("scheduler.requeues").inc()
+                        enqueued(job, requeue=True)
             try_start()
 
         makespan = max(ends.values())
@@ -215,7 +340,7 @@ class Scheduler:
                 if j.uses_ai
             )
             utilization = occupied_node_seconds / (self.n_nodes * makespan)
-        return ScheduleResult(
+        result = ScheduleResult(
             makespan=makespan,
             utilization=utilization,
             mean_wait=sum(waits) / len(waits),
@@ -232,6 +357,20 @@ class Scheduler:
             lost_node_hours=lost_node_seconds / 3600.0,
             abandoned=tuple(abandoned),
         )
+        if telemetry is not None:
+            gauges = telemetry.metrics
+            gauges.gauge("scheduler.makespan_seconds").set(result.makespan)
+            gauges.gauge("scheduler.utilization").set(result.utilization)
+            gauges.gauge(
+                "scheduler.goodput_fraction"
+            ).set(result.goodput_fraction)
+            gauges.gauge(
+                "scheduler.lost_node_hours"
+            ).set(result.lost_node_hours)
+            gauges.counter(
+                "scheduler.delivered_node_seconds"
+            ).inc(busy)
+        return result
 
     @staticmethod
     def _start(job: Job, now: float, starts: dict[str, float]) -> None:

@@ -38,9 +38,12 @@ import heapq
 import itertools
 from collections.abc import Generator
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Telemetry
 
 
 @dataclass(frozen=True)
@@ -91,6 +94,7 @@ class Process:
         self._waiters: list[Process] = []
         self._epoch = 0  # bumped on interrupt; stale heap entries are skipped
         self._waiting_on: Any = None  # Process | resource request | None
+        self._tel_span: Any = None  # open telemetry span, when instrumented
 
     def interrupt(self, cause: Any = None) -> bool:
         """Throw :class:`Interrupt` into this process at its current wait.
@@ -105,19 +109,34 @@ class Process:
 
 
 class Engine:
-    """The event loop: a heap of (time, seq, epoch, process, value_to_send)."""
+    """The event loop: a heap of (time, seq, epoch, process, value_to_send).
 
-    def __init__(self):
+    ``telemetry`` is the opt-in observability handle
+    (:class:`repro.telemetry.Telemetry`): when supplied, the engine binds
+    its clock to simulated time and records one span per process lifetime
+    plus an instant event per interrupt. When ``None`` (the default) no
+    telemetry code runs — the hot path is the uninstrumented seed path.
+    """
+
+    def __init__(self, telemetry: "Telemetry | None" = None):
         self.now = 0.0
+        self.telemetry = telemetry
         self._heap: list[tuple[float, int, int, Process, Any]] = []
         self._seq = itertools.count()
         self._active = 0
+        self._current: Process | None = None  # process being stepped
+        if telemetry is not None:
+            telemetry.bind_clock(lambda: self.now)
 
     def spawn(self, gen: Generator, name: str = "") -> Process:
         """Register a new process and schedule its first step at ``now``."""
         proc = Process(self, gen, name)
         self._active += 1
         self._schedule(self.now, proc, None)
+        if self.telemetry is not None:
+            proc._tel_span = self.telemetry.begin(
+                proc.name, "process", facility="engine", track=proc.name
+            )
         return proc
 
     def _schedule(self, when: float, proc: Process, send_value: Any) -> None:
@@ -147,6 +166,7 @@ class Engine:
         if proc.finished:
             raise SimulationError(f"stepping finished process {proc.name}")
         proc._waiting_on = None
+        self._current = proc
         try:
             if isinstance(send_value, _Throw):
                 effect = proc.gen.throw(send_value.exc)
@@ -160,6 +180,8 @@ class Engine:
             proc.killed = True
             self._finish(proc, None)
             return
+        finally:
+            self._current = None
         self._dispatch(proc, effect)
 
     def _dispatch(self, proc: Process, effect: Any) -> None:
@@ -182,6 +204,9 @@ class Engine:
         proc.result = result
         proc.finished_at = self.now
         self._active -= 1
+        if self.telemetry is not None and proc._tel_span is not None:
+            self.telemetry.end(proc._tel_span, killed=proc.killed)
+            proc._tel_span = None
         for waiter in proc._waiters:
             waiter._waiting_on = None
             self._schedule(self.now, waiter, result)
@@ -200,6 +225,11 @@ class Engine:
         proc._waiting_on = None
         proc._epoch += 1  # invalidate any pending heap entry for this process
         self._schedule(self.now, proc, _Throw(Interrupt(cause)))
+        if self.telemetry is not None:
+            self.telemetry.instant(
+                f"interrupt:{proc.name}", "engine",
+                facility="engine", track=proc.name, cause=cause,
+            )
         return True
 
     # Resources use this to resume a blocked process.

@@ -19,6 +19,7 @@ class _AcquireRequest:
     def __init__(self, resource: "Resource", amount: int):
         self.resource = resource
         self.amount = amount
+        self._wait_span = None  # open telemetry span while queued
 
     def _bind_waiter(self, proc: Process) -> None:
         self.resource._enqueue(self, proc)
@@ -44,6 +45,11 @@ class Resource:
         self.name = name
         self.in_use = 0
         self._queue: deque[tuple[_AcquireRequest, Process]] = deque()
+        if engine.telemetry is not None:
+            # anchor the occupancy timeline at the pool's creation time
+            engine.telemetry.sample(
+                self.name, 0, capacity, facility="resources"
+            )
 
     @property
     def available(self) -> int:
@@ -66,24 +72,56 @@ class Resource:
                 f"{self.name}: release {amount} with {self.in_use} in use"
             )
         self.in_use -= amount
+        self._sample()
         self._drain()
 
     def _enqueue(self, request: _AcquireRequest, proc: Process) -> None:
+        telemetry = self.engine.telemetry
+        if telemetry is not None and (self._queue or request.amount > self.available):
+            # the request will wait: record the queue time as a span
+            request._wait_span = telemetry.begin(
+                f"wait:{proc.name}", "resource-wait",
+                facility="resources", track=self.name,
+                amount=request.amount,
+            )
         self._queue.append((request, proc))
         self._drain()
 
     def _dequeue(self, proc: Process) -> None:
         """Drop ``proc``'s queued request; a removed head may unblock others."""
+        telemetry = self.engine.telemetry
+        if telemetry is not None:
+            for req, waiter in self._queue:
+                if waiter is proc and req._wait_span is not None:
+                    telemetry.end(req._wait_span, cancelled=True)
+                    req._wait_span = None
         self._queue = deque(
             (req, waiter) for req, waiter in self._queue if waiter is not proc
         )
         self._drain()
 
     def _drain(self) -> None:
+        telemetry = self.engine.telemetry
         while self._queue:
             request, proc = self._queue[0]
             if request.amount > self.available:
                 return
             self._queue.popleft()
             self.in_use += request.amount
+            if telemetry is not None:
+                if request._wait_span is not None:
+                    wait = telemetry.end(request._wait_span)
+                    request._wait_span = None
+                    telemetry.metrics.histogram(
+                        f"resource.{self.name}.wait_seconds"
+                    ).record(wait.duration)
+                self._sample()
             self.engine._resume(proc, request.amount)
+
+    def _sample(self) -> None:
+        """Record the occupancy step for the utilization timeline."""
+        telemetry = self.engine.telemetry
+        if telemetry is not None:
+            telemetry.sample(
+                self.name, self.in_use, self.capacity, facility="resources"
+            )

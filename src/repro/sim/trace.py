@@ -1,10 +1,27 @@
-"""Event tracing for simulations: record (time, category, label, payload)
-tuples and compute simple statistics over them."""
+"""Event tracing for simulations — a compatibility shim over telemetry.
+
+Historically this module *was* the observability layer: a flat list of
+``(time, category, label, payload)`` tuples. It is now a thin facade over
+:mod:`repro.telemetry` — every ``record()`` lands as an instant event in a
+:class:`~repro.telemetry.Telemetry` handle (the trace's own by default, or
+a shared one so legacy trace events ride along in Chrome-trace exports),
+and the query helpers read back out of it.
+
+Durations are explicit now. ``busy_time`` used to sum *any* numeric
+payload, silently adding counters (node counts, attempt numbers) into what
+callers read as seconds. It now only sums events recorded with an explicit
+``duration=`` keyword, a ``{"duration": ...}`` payload key, or — for
+backward compatibility — a bare numeric payload, which is *interpreted as*
+a duration and therefore must not be used for counts (record those under a
+named payload key instead).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
+
+from repro.telemetry import Telemetry
 
 
 @dataclass(frozen=True)
@@ -13,16 +30,50 @@ class TraceEvent:
     category: str
     label: str
     payload: Any = None
+    duration: float | None = None
 
 
-@dataclass
 class Trace:
-    """An append-only event log with query helpers."""
+    """An append-only event log with query helpers.
 
-    events: list[TraceEvent] = field(default_factory=list)
+    ``telemetry`` may be a shared handle; the trace only reads back events
+    it recorded itself (marked internally), so instrumentation spans and
+    instants living in the same handle never leak into trace queries.
+    """
 
-    def record(self, time: float, category: str, label: str, payload: Any = None) -> None:
-        self.events.append(TraceEvent(time, category, label, payload))
+    def __init__(self, telemetry: Telemetry | None = None):
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+
+    def record(
+        self,
+        time: float,
+        category: str,
+        label: str,
+        payload: Any = None,
+        duration: float | None = None,
+    ) -> None:
+        """Append an event. Pass ``duration=`` (or a ``{"duration": ...}``
+        payload) for events that represent elapsed time; bare numeric
+        payloads are treated as durations for backward compatibility."""
+        self.telemetry.instant(
+            label, category, facility="trace", track=category, time=time,
+            payload=payload, duration=duration, trace_event=True,
+        )
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The recorded events, in record order."""
+        return [
+            TraceEvent(
+                time=e.time,
+                category=e.category,
+                label=e.name,
+                payload=e.attrs.get("payload"),
+                duration=e.attrs.get("duration"),
+            )
+            for e in self.telemetry.instants
+            if e.attrs.get("trace_event")
+        ]
 
     def by_category(self, category: str) -> list[TraceEvent]:
         return [e for e in self.events if e.category == category]
@@ -32,14 +83,30 @@ class Trace:
 
     def span(self) -> float:
         """Time between the first and last recorded event."""
-        if not self.events:
+        events = self.events
+        if not events:
             return 0.0
-        times = [e.time for e in self.events]
+        times = [e.time for e in events]
         return max(times) - min(times)
 
     def busy_time(self, category: str) -> float:
-        """Sum of numeric payloads for a category (for duration events)."""
-        return sum(
-            e.payload for e in self.by_category(category)
-            if isinstance(e.payload, (int, float))
-        )
+        """Sum of event durations for a category.
+
+        Counts, in order of preference: the explicit ``duration=`` passed to
+        :meth:`record`, a ``payload["duration"]`` key, or (legacy) a bare
+        ``int``/``float`` payload. Structured payloads without a
+        ``duration`` key — node counts, attempt numbers — contribute
+        nothing, which is the fix for the old behaviour of summing every
+        numeric payload as if it were seconds.
+        """
+        total = 0.0
+        for e in self.by_category(category):
+            if e.duration is not None:
+                total += e.duration
+            elif isinstance(e.payload, dict) and "duration" in e.payload:
+                total += e.payload["duration"]
+            elif isinstance(e.payload, (int, float)) and not isinstance(
+                e.payload, bool
+            ):
+                total += e.payload
+        return total

@@ -1,0 +1,52 @@
+"""Facility-wide observability: spans, metrics, and trace export.
+
+The quantitative telemetry the paper's evidence rests on — per-phase
+timings, utilizations, bandwidths, lost node-hours — captured from the
+simulation stack behind one opt-in :class:`Telemetry` handle and exported
+as Chrome trace-event JSON (Perfetto-loadable), JSON-lines, or a text
+summary. See the README's "Observability" section for a walkthrough.
+
+>>> from repro.telemetry import Telemetry
+>>> tel = Telemetry(clock=lambda: 0.0)
+>>> with tel.span("step", "training") as sp:
+...     tel.metrics.counter("steps").inc()
+>>> len(tel.finished_spans())
+1
+"""
+
+from repro.telemetry.context import DEFAULT_MAX_NODE_TRACKS, Telemetry
+from repro.telemetry.export import (
+    chrome_trace,
+    chrome_trace_json,
+    summary,
+    to_jsonl,
+    write_chrome_trace,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_SECONDS_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.spans import CounterSample, InstantEvent, Span
+from repro.telemetry.timeline import UtilizationTimeline
+
+__all__ = [
+    "DEFAULT_MAX_NODE_TRACKS",
+    "DEFAULT_SECONDS_EDGES",
+    "Counter",
+    "CounterSample",
+    "Gauge",
+    "Histogram",
+    "InstantEvent",
+    "MetricsRegistry",
+    "Span",
+    "Telemetry",
+    "UtilizationTimeline",
+    "chrome_trace",
+    "chrome_trace_json",
+    "summary",
+    "to_jsonl",
+    "write_chrome_trace",
+]

@@ -1,0 +1,184 @@
+"""The ``Telemetry`` handle: the one object instrumented code touches.
+
+Design rules, in order:
+
+1. **Opt-in.** Every instrumented call site takes ``telemetry=None`` and
+   does nothing when it stays ``None`` — the uninstrumented hot path is the
+   seed code path, byte for byte.
+2. **No globals.** Parent spans are passed explicitly; the handle owns all
+   state. Two runs never share anything unless handed the same object.
+3. **Deterministic.** Span ids are a simple counter, records append in call
+   order, and times come from the simulation clock (or explicit ``time=``
+   arguments), so identical seeds produce identical traces — the exporters
+   then serialize them byte-identically.
+
+The clock is a zero-argument callable; the discrete-event engine binds
+``lambda: engine.now`` when it is constructed with a telemetry handle.
+Wall-clock instrumentation (cost-sweep stage timing) passes explicit
+``perf_counter`` offsets instead — keep simulated and wall traces in
+separate handles.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import CounterSample, InstantEvent, Span
+from repro.telemetry.timeline import UtilizationTimeline
+
+#: Above this many nodes a facility gets per-task tracks instead of
+#: per-node tracks — a 4 608-node machine as 4 608 Perfetto rows is noise.
+DEFAULT_MAX_NODE_TRACKS = 256
+
+
+class Telemetry:
+    """Collects spans, instant events, counter samples, and metrics."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        max_node_tracks: int = DEFAULT_MAX_NODE_TRACKS,
+    ):
+        self.clock = clock
+        self.max_node_tracks = max_node_tracks
+        self.spans: list[Span] = []
+        self.instants: list[InstantEvent] = []
+        self.samples: list[CounterSample] = []
+        self.metrics = MetricsRegistry()
+        self._ids = itertools.count(1)
+
+    # -- clock -------------------------------------------------------------------
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the time source (the engine does this on construction)."""
+        self.clock = clock
+
+    def now(self) -> float:
+        return self.clock() if self.clock is not None else 0.0
+
+    # -- spans -------------------------------------------------------------------
+
+    def begin(
+        self,
+        name: str,
+        category: str,
+        *,
+        facility: str = "sim",
+        track: str = "main",
+        parent: Span | None = None,
+        time: float | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span; pass the returned handle to :meth:`end`."""
+        span = Span(
+            span_id=next(self._ids),
+            name=name,
+            category=category,
+            start=self.now() if time is None else time,
+            facility=facility,
+            track=track,
+            parent_id=parent.span_id if parent is not None else None,
+            attrs=dict(attrs),
+        )
+        self.spans.append(span)
+        return span
+
+    def end(self, span: Span, time: float | None = None, **attrs: Any) -> Span:
+        """Close a span (idempotence is an error — a span ends once)."""
+        if span.end is not None:
+            raise ConfigurationError(f"span {span.name!r} already ended")
+        span.end = self.now() if time is None else time
+        if span.end < span.start:
+            raise ConfigurationError(
+                f"span {span.name!r} ends before it starts"
+            )
+        span.attrs.update(attrs)
+        return span
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        category: str,
+        *,
+        facility: str = "sim",
+        track: str = "main",
+        parent: Span | None = None,
+        **attrs: Any,
+    ):
+        """Context-manager convenience for non-generator code paths."""
+        span = self.begin(
+            name, category, facility=facility, track=track, parent=parent,
+            **attrs,
+        )
+        try:
+            yield span
+        finally:
+            self.end(span)
+
+    def finished_spans(self, category: str | None = None) -> list[Span]:
+        return [
+            s for s in self.spans
+            if s.finished and (category is None or s.category == category)
+        ]
+
+    # -- instants and samples ----------------------------------------------------
+
+    def instant(
+        self,
+        name: str,
+        category: str,
+        *,
+        facility: str = "sim",
+        track: str = "main",
+        time: float | None = None,
+        **attrs: Any,
+    ) -> InstantEvent:
+        event = InstantEvent(
+            time=self.now() if time is None else time,
+            name=name,
+            category=category,
+            facility=facility,
+            track=track,
+            attrs=dict(attrs),
+        )
+        self.instants.append(event)
+        return event
+
+    def sample(
+        self,
+        resource: str,
+        value: float,
+        capacity: float | None = None,
+        *,
+        facility: str = "sim",
+        time: float | None = None,
+    ) -> None:
+        """Record one occupancy/queue-depth sample for a counter track."""
+        self.samples.append(
+            CounterSample(
+                time=self.now() if time is None else time,
+                resource=resource,
+                value=value,
+                capacity=capacity,
+                facility=facility,
+            )
+        )
+
+    # -- derived views -----------------------------------------------------------
+
+    def sampled_resources(self) -> list[str]:
+        """Resource names with samples, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for s in self.samples:
+            seen.setdefault(s.resource, None)
+        return list(seen)
+
+    def utilization(self, resource: str) -> UtilizationTimeline:
+        """The occupancy step function recorded for ``resource``."""
+        return UtilizationTimeline.from_samples(resource, self.samples)

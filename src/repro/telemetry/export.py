@@ -1,0 +1,202 @@
+"""Exporters: Chrome trace-event JSON, JSON-lines, and a text summary.
+
+``chrome_trace`` emits the Trace Event Format understood by Perfetto and
+``chrome://tracing``: one trace *process* per facility, one *thread* (track)
+per node/resource/task, complete ``X`` events for spans, process-scoped
+``i`` instants for fault injections and requeues, and ``C`` counter tracks
+for resource occupancy. Timestamps are microseconds of simulated time.
+
+All exporters are deterministic: pids and tids are assigned in first-
+appearance order, records serialize in record order, and the JSON encoder
+uses sorted keys and fixed separators — identical runs produce
+byte-identical files (the property the test suite pins).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.telemetry.context import Telemetry
+
+#: Seconds -> trace microseconds.
+_US = 1e6
+
+
+def _clean(attrs: dict[str, Any]) -> dict[str, Any]:
+    """JSON-safe args: scalars pass through, anything else goes via repr."""
+    out: dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out
+
+
+class _Layout:
+    """First-appearance-ordered pid/tid assignment."""
+
+    def __init__(self) -> None:
+        self.pids: dict[str, int] = {}
+        self.tids: dict[tuple[str, str], int] = {}
+
+    def pid(self, facility: str) -> int:
+        if facility not in self.pids:
+            self.pids[facility] = len(self.pids) + 1
+        return self.pids[facility]
+
+    def tid(self, facility: str, track: str) -> int:
+        key = (facility, track)
+        if key not in self.tids:
+            # tids restart at 1 within each facility
+            n_in_facility = sum(1 for f, _ in self.tids if f == facility)
+            self.tids[key] = n_in_facility + 1
+        return self.tids[key]
+
+
+def chrome_trace(telemetry: Telemetry) -> dict:
+    """The trace as a Trace-Event-Format object (``traceEvents`` + units)."""
+    layout = _Layout()
+    spans = []
+    for span in telemetry.spans:
+        if not span.finished:
+            continue
+        assert span.end is not None
+        spans.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.category,
+            "pid": layout.pid(span.facility),
+            "tid": layout.tid(span.facility, span.track),
+            "ts": span.start * _US,
+            "dur": (span.end - span.start) * _US,
+            "args": _clean({"span_id": span.span_id,
+                            "parent_id": span.parent_id, **span.attrs}),
+        })
+    instants = [
+        {
+            "ph": "i",
+            "s": "p",
+            "name": event.name,
+            "cat": event.category,
+            "pid": layout.pid(event.facility),
+            "tid": layout.tid(event.facility, event.track),
+            "ts": event.time * _US,
+            "args": _clean(event.attrs),
+        }
+        for event in telemetry.instants
+    ]
+    counters = [
+        {
+            "ph": "C",
+            "name": sample.resource,
+            "pid": layout.pid(sample.facility),
+            "tid": 0,
+            "ts": sample.time * _US,
+            "args": {"in_use": sample.value},
+        }
+        for sample in telemetry.samples
+    ]
+    metadata = []
+    for facility, pid in layout.pids.items():
+        metadata.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": facility},
+        })
+    for (facility, track), tid in layout.tids.items():
+        metadata.append({
+            "ph": "M", "name": "thread_name",
+            "pid": layout.pids[facility], "tid": tid,
+            "args": {"name": track},
+        })
+        metadata.append({
+            "ph": "M", "name": "thread_sort_index",
+            "pid": layout.pids[facility], "tid": tid,
+            "args": {"sort_index": tid},
+        })
+    return {
+        "displayTimeUnit": "ms",
+        "traceEvents": [*metadata, *spans, *instants, *counters],
+    }
+
+
+def chrome_trace_json(telemetry: Telemetry) -> str:
+    """Byte-stable serialization of :func:`chrome_trace`."""
+    return json.dumps(
+        chrome_trace(telemetry), sort_keys=True, separators=(",", ":")
+    )
+
+
+def write_chrome_trace(telemetry: Telemetry, path: str) -> None:
+    """Write a ``.trace.json`` loadable in Perfetto / chrome://tracing."""
+    with open(path, "w") as fh:
+        fh.write(chrome_trace_json(telemetry))
+        fh.write("\n")
+
+
+def to_jsonl(telemetry: Telemetry) -> str:
+    """One JSON object per line: spans, instants, samples, then metrics."""
+    lines = []
+    for span in telemetry.spans:
+        if not span.finished:
+            continue
+        lines.append({
+            "type": "span", "id": span.span_id, "name": span.name,
+            "cat": span.category, "facility": span.facility,
+            "track": span.track, "start": span.start, "end": span.end,
+            "parent": span.parent_id, "attrs": _clean(span.attrs),
+        })
+    for event in telemetry.instants:
+        lines.append({
+            "type": "instant", "name": event.name, "cat": event.category,
+            "facility": event.facility, "track": event.track,
+            "time": event.time, "attrs": _clean(event.attrs),
+        })
+    for sample in telemetry.samples:
+        lines.append({
+            "type": "sample", "resource": sample.resource,
+            "time": sample.time, "value": sample.value,
+            "capacity": sample.capacity,
+        })
+    for name, data in telemetry.metrics.as_dict().items():
+        lines.append({"type": "metric", "name": name, **data})
+    return "\n".join(
+        json.dumps(line, sort_keys=True, separators=(",", ":"))
+        for line in lines
+    )
+
+
+def summary(telemetry: Telemetry) -> str:
+    """Plain-text run summary: spans by category, utilization, metrics."""
+    finished = telemetry.finished_spans()
+    by_cat: dict[str, list[float]] = {}
+    for span in finished:
+        by_cat.setdefault(span.category, []).append(span.duration)
+    lines = [
+        "Telemetry summary",
+        f"  spans                {len(finished)} complete / "
+        f"{len(telemetry.spans)} recorded",
+        f"  instant events       {len(telemetry.instants)}",
+    ]
+    for cat in sorted(by_cat):
+        durations = by_cat[cat]
+        lines.append(
+            f"    {cat:<18} n={len(durations):<6} "
+            f"total={sum(durations):.6g} s  "
+            f"mean={sum(durations) / len(durations):.6g} s"
+        )
+    resources = telemetry.sampled_resources()
+    if resources:
+        lines.append("  utilization")
+        for name in resources:
+            timeline = telemetry.utilization(name)
+            lines.append(
+                f"    {name:<18} busy={timeline.busy_time():.6g} node-s  "
+                f"util={timeline.utilization():.1%}  "
+                f"peak={timeline.peak():g}/{timeline.capacity:g}"
+            )
+    if len(telemetry.metrics):
+        lines.append("  metrics")
+        lines.extend("  " + line for line in telemetry.metrics.summary_lines())
+    return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""Counters, gauges, and fixed-bucket histograms.
+
+The registry is deliberately tiny and dependency-free: instruments are
+created on first use (`registry.counter("dag.failures")`), hold plain Python
+numbers, and export deterministically (instruments sorted by name, bucket
+edges fixed at creation). Histogram semantics follow the Prometheus
+convention: ``edges`` are inclusive upper bounds, bucket ``i`` counts values
+``v`` with ``edges[i-1] < v <= edges[i]``, and one overflow bucket counts
+everything above the last edge.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Default histogram edges for second-valued durations: 1 ms .. ~28 h in
+#: roughly 4x steps — wide enough for step times and makespans alike.
+DEFAULT_SECONDS_EDGES: tuple[float, ...] = (
+    1e-3, 4e-3, 16e-3, 64e-3, 0.25, 1.0, 4.0, 16.0, 64.0, 256.0,
+    1024.0, 4096.0, 16384.0, 65536.0,
+)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(f"{self.name}: counters only go up")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with an exact running sum and count."""
+
+    name: str
+    edges: tuple[float, ...] = DEFAULT_SECONDS_EDGES
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    n: int = 0
+    min_value: float | None = None
+    max_value: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.edges:
+            raise ConfigurationError(f"{self.name}: need at least one edge")
+        if list(self.edges) != sorted(set(self.edges)):
+            raise ConfigurationError(
+                f"{self.name}: edges must be strictly increasing"
+            )
+        if not self.counts:
+            self.counts = [0] * (len(self.edges) + 1)
+
+    def record(self, value: float) -> None:
+        """Count ``value`` into its bucket: ``edges[i-1] < v <= edges[i]``."""
+        self.counts[bisect.bisect_left(self.edges, value)] += 1
+        self.total += value
+        self.n += 1
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    def bucket_bounds(self, index: int) -> tuple[float, float]:
+        """``(lower, upper]`` bounds of bucket ``index`` (inf for overflow)."""
+        lo = float("-inf") if index == 0 else self.edges[index - 1]
+        hi = float("inf") if index == len(self.edges) else self.edges[index]
+        return lo, hi
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type, factory):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, edges: tuple[float, ...] = DEFAULT_SECONDS_EDGES
+    ) -> Histogram:
+        hist = self._get(name, Histogram, lambda: Histogram(name, edges))
+        if hist.edges != tuple(edges):
+            raise ConfigurationError(
+                f"metric {name!r} already registered with different edges"
+            )
+        return hist
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __getitem__(self, name: str) -> Counter | Gauge | Histogram:
+        return self._instruments[name]
+
+    def __iter__(self):
+        return iter(sorted(self._instruments))
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def as_dict(self) -> dict:
+        """Deterministic plain-data view (for JSON export and summaries)."""
+        out: dict[str, dict] = {}
+        for name in self:
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                out[name] = {"type": "counter", "value": instrument.value}
+            elif isinstance(instrument, Gauge):
+                out[name] = {"type": "gauge", "value": instrument.value}
+            else:
+                out[name] = {
+                    "type": "histogram",
+                    "count": instrument.n,
+                    "sum": instrument.total,
+                    "min": instrument.min_value,
+                    "max": instrument.max_value,
+                    "edges": list(instrument.edges),
+                    "counts": list(instrument.counts),
+                }
+        return out
+
+    def summary_lines(self) -> list[str]:
+        """One aligned line per instrument, sorted by name."""
+        lines = []
+        for name in self:
+            instrument = self._instruments[name]
+            if isinstance(instrument, (Counter, Gauge)):
+                kind = "counter" if isinstance(instrument, Counter) else "gauge"
+                lines.append(f"  {name:<36} {kind:<9} {instrument.value:g}")
+            else:
+                lines.append(
+                    f"  {name:<36} histogram n={instrument.n} "
+                    f"sum={instrument.total:g} mean={instrument.mean:g}"
+                )
+        return lines

@@ -1,0 +1,74 @@
+"""Span and instant-event records for the telemetry layer.
+
+A :class:`Span` is one timed interval of simulated (or wall-clock) time with
+an explicit parent link — no thread-locals, no global "current span": the
+code being instrumented passes the parent handle it holds, which is what
+keeps traces deterministic under the discrete-event engine's interleaving.
+
+``facility`` and ``track`` are the two levels of the Chrome-trace layout the
+exporters emit: one trace *process* per facility (a machine, the scheduler
+queue, the workflow layer) and one *track* (thread row) per node, resource
+or task within it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Span:
+    """One timed operation: ``[start, end]`` in the owning clock's units."""
+
+    span_id: int
+    name: str
+    category: str
+    start: float
+    facility: str = "sim"
+    track: str = "main"
+    parent_id: int | None = None
+    end: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Span length; raises until the span has been ended."""
+        if self.end is None:
+            raise ConfigurationError(f"span {self.name!r} is still open")
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        when = f"{self.start:g}..{self.end:g}" if self.finished else f"{self.start:g}.."
+        return f"<Span #{self.span_id} {self.name} [{when}]>"
+
+
+@dataclass(frozen=True)
+class InstantEvent:
+    """A zero-duration mark — a fault injection, a requeue, a trace event."""
+
+    time: float
+    name: str
+    category: str
+    facility: str = "sim"
+    track: str = "main"
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """One sample of a monotonically-stepped quantity (resource occupancy,
+    queue depth) — the raw material of counter tracks and utilization
+    timelines."""
+
+    time: float
+    resource: str
+    value: float
+    capacity: float | None = None
+    facility: str = "sim"

@@ -1,0 +1,103 @@
+"""Utilization timelines derived from resource occupancy samples.
+
+Every grant and release of an instrumented :class:`repro.sim.Resource`
+appends a :class:`~repro.telemetry.spans.CounterSample`; a
+:class:`UtilizationTimeline` integrates that step function into the numbers
+the paper reports per facility — busy node-seconds, time-averaged
+utilization, and peak occupancy. Invariants (checked by the property
+suite): ``0 <= utilization <= 1`` and ``busy_node_seconds <= capacity *
+span`` whenever every sample satisfies ``0 <= value <= capacity``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+from repro.telemetry.spans import CounterSample
+
+
+@dataclass(frozen=True)
+class UtilizationTimeline:
+    """A right-continuous step function ``value(t)`` over ``[t0, tN]``.
+
+    ``values[i]`` holds from ``times[i]`` until ``times[i+1]`` (the last
+    value contributes no area — the timeline ends at its final sample).
+    """
+
+    resource: str
+    capacity: float
+    times: tuple[float, ...]
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ConfigurationError(f"{self.resource}: capacity must be > 0")
+        if len(self.times) != len(self.values):
+            raise ConfigurationError(
+                f"{self.resource}: times and values must align"
+            )
+        if any(b < a for a, b in zip(self.times, self.times[1:])):
+            raise ConfigurationError(
+                f"{self.resource}: sample times must be non-decreasing"
+            )
+
+    @classmethod
+    def from_samples(
+        cls, resource: str, samples: list[CounterSample]
+    ) -> "UtilizationTimeline":
+        """Build from the telemetry samples recorded for one resource."""
+        ours = [s for s in samples if s.resource == resource]
+        if not ours:
+            raise ConfigurationError(f"no samples recorded for {resource!r}")
+        capacities = [s.capacity for s in ours if s.capacity is not None]
+        capacity = max(capacities) if capacities else max(s.value for s in ours)
+        return cls(
+            resource=resource,
+            capacity=capacity or 1.0,
+            times=tuple(s.time for s in ours),
+            values=tuple(s.value for s in ours),
+        )
+
+    @property
+    def span(self) -> float:
+        """Wall/simulated time between the first and last sample."""
+        if not self.times:
+            return 0.0
+        return self.times[-1] - self.times[0]
+
+    def busy_time(self) -> float:
+        """Integral of ``value(t) dt`` — busy node-seconds for node pools."""
+        return sum(
+            v * (t1 - t0)
+            for v, t0, t1 in zip(self.values, self.times, self.times[1:])
+        )
+
+    def utilization(self) -> float:
+        """Time-averaged occupancy fraction over the sampled span.
+
+        When no sample ever exceeds the capacity the true fraction is <= 1
+        by construction, so summation round-off (the busy-time integral is
+        a float sum) is clamped away rather than reported as utilization
+        above 100%.
+        """
+        if self.span == 0.0:
+            return 0.0
+        utilization = self.busy_time() / (self.capacity * self.span)
+        if utilization > 1.0 and self.peak() <= self.capacity:
+            return 1.0
+        return utilization
+
+    def peak(self) -> float:
+        """Highest sampled occupancy."""
+        return max(self.values) if self.values else 0.0
+
+    def value_at(self, t: float) -> float:
+        """Occupancy at time ``t`` (0 before the first sample)."""
+        value = 0.0
+        for time, v in zip(self.times, self.values):
+            if time > t:
+                break
+            value = v
+        return value

@@ -130,8 +130,14 @@ class GoodputModel:
         tier: str = "nvme",
         seed: int = 0,
         work_seconds: float | None = None,
+        telemetry=None,
     ) -> RestartStats:
-        """Event-driven checkpoint-restart run at this job's parameters."""
+        """Event-driven checkpoint-restart run at this job's parameters.
+
+        An optional :class:`~repro.telemetry.Telemetry` handle is passed
+        through to :func:`simulate_checkpoint_restart`, capturing segment /
+        checkpoint / restart spans and fault instants for this run.
+        """
         plan = self.plan()
         if work_seconds is None:
             work_seconds = _EMPIRICAL_WORK_MTBF_MULTIPLE * plan.system_mtbf
@@ -142,6 +148,7 @@ class GoodputModel:
             n_nodes=self.job.n_nodes,
             node_mtbf_seconds=self.node_mtbf_seconds,
             seed=seed,
+            telemetry=telemetry,
         )
 
     def report(
@@ -151,17 +158,23 @@ class GoodputModel:
         empirical: bool = True,
         seed: int = 0,
         work_seconds: float | None = None,
+        telemetry=None,
     ) -> ResilienceReport:
         """Build the :class:`ResilienceReport` for this configuration.
 
         ``empirical=True`` runs the event-driven simulation so the report
         carries measured overhead next to the Young/Daly prediction;
         ``empirical=False`` fills the report with the analytic expectation.
+        A ``telemetry`` handle instruments the empirical run (ignored on
+        the analytic path, which performs no simulation).
         """
         analytical = self.overhead_fraction(tier)
         raw = self.job.sustained_flops()
         if empirical:
-            stats = self.simulate(tier, seed=seed, work_seconds=work_seconds)
+            stats = self.simulate(
+                tier, seed=seed, work_seconds=work_seconds,
+                telemetry=telemetry,
+            )
             return ResilienceReport.from_restart(
                 name=name,
                 n_nodes=self.job.n_nodes,

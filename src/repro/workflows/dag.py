@@ -20,12 +20,18 @@ import numpy as np
 
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from repro.errors import ConfigurationError, SimulationError
 from repro.resilience.retry import RetryPolicy
 from repro.sim.engine import Engine, Timeout
 from repro.sim.resources import Resource
 from repro.sim.trace import Trace
+from repro.telemetry import Telemetry
 from repro.workflows.facility import Facility
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.report import ResilienceReport
 
 
 @dataclass(frozen=True)
@@ -85,11 +91,62 @@ class WorkflowRun:
     n_failures: int = 0
     lost_seconds: float = 0.0
     checkpoint_seconds: float = 0.0
+    # node-second accounting (node-weighted counterparts of the above):
+    # busy = useful + lost + checkpoint, summed over every attempt
+    busy_node_seconds: float = 0.0
+    useful_node_seconds: float = 0.0
+    lost_node_seconds: float = 0.0
+    checkpoint_node_seconds: float = 0.0
+    n_checkpoints: int = 0
 
     @property
     def n_retries(self) -> int:
         """Executions beyond each task's first attempt."""
         return sum(max(0, a - 1) for a in self.attempts.values())
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Useful node-seconds over occupied node-seconds (1.0 fault-free)."""
+        if self.busy_node_seconds == 0:
+            return 1.0
+        return self.useful_node_seconds / self.busy_node_seconds
+
+    @property
+    def lost_node_hours(self) -> float:
+        return self.lost_node_seconds / 3600.0
+
+    def resilience_report(
+        self,
+        name: str = "workflow",
+        node_mtbf_seconds: float | None = None,
+    ) -> "ResilienceReport":
+        """The workflow's failure accounting as a
+        :class:`~repro.resilience.report.ResilienceReport`.
+
+        The report is built in *node-seconds* (``n_nodes=1``): wall-clock is
+        the occupied node-seconds across all attempts, so the report's
+        ``goodput_fraction`` and ``lost_node_hours`` equal this run's
+        properties of the same names exactly.
+        """
+        from repro.resilience.faults import DEFAULT_NODE_MTBF_SECONDS
+        from repro.resilience.report import ResilienceReport
+
+        return ResilienceReport(
+            name=name,
+            n_nodes=1,
+            node_mtbf_seconds=(
+                node_mtbf_seconds
+                if node_mtbf_seconds is not None
+                else DEFAULT_NODE_MTBF_SECONDS
+            ),
+            wall_seconds=self.busy_node_seconds,
+            useful_seconds=self.useful_node_seconds,
+            n_failures=self.n_failures,
+            n_retries=self.n_retries,
+            n_checkpoints=self.n_checkpoints,
+            checkpoint_seconds=self.checkpoint_node_seconds,
+            lost_seconds=self.lost_node_seconds,
+        )
 
     def critical_path(self, graph: "TaskGraph") -> list[str]:
         """Chain of tasks ending at the latest finisher, following the
@@ -209,6 +266,7 @@ class TaskGraph:
         self,
         retry: RetryPolicy | None = None,
         seed: int = 0,
+        telemetry: Telemetry | None = None,
     ) -> WorkflowRun:
         """Run the DAG with resource contention; returns timing results.
 
@@ -217,18 +275,91 @@ class TaskGraph:
         from their last committed checkpoint. ``seed`` drives the per-task
         failure draws; the same seed reproduces the exact same failure
         times, retry counts and makespan.
+
+        With a ``telemetry`` handle the executor additionally records one
+        span per task attempt (facility "workflow"), per-node occupancy
+        spans on each placed facility's tracks (when the facility is small
+        enough for per-node tracks — see
+        :attr:`~repro.telemetry.Telemetry.max_node_tracks`), fault/restore
+        instant events, and the metrics the run summary reports. The
+        telemetry-off path, and every returned number, is unchanged.
         """
         if not self.tasks:
             raise ConfigurationError("empty task graph")
         if retry is None:
             retry = RetryPolicy()
-        engine = Engine()
+        engine = Engine(telemetry)
         pools = {
             key: Resource(engine, fac.nodes, name=fac.name)
             for key, fac in self.facilities.items()
         }
-        run = WorkflowRun(makespan=0.0, start_times={}, end_times={})
+        run = WorkflowRun(
+            makespan=0.0, start_times={}, end_times={},
+            trace=Trace(telemetry),
+        )
         procs: dict[str, object] = {}
+        # deterministic node-index assignment for per-node trace tracks
+        free_nodes = {
+            key: list(range(fac.nodes))
+            for key, fac in self.facilities.items()
+        }
+
+        def open_attempt(task: Task, attempt: int):
+            """Begin the attempt span and (on small facilities) node spans."""
+            fac = self.facilities[task.facility]
+            assert telemetry is not None
+            attempt_span = telemetry.begin(
+                task.name if attempt == 1 else f"{task.name}#{attempt}",
+                "task", facility="workflow", track=task.name,
+                attempt=attempt, nodes=task.nodes, placed=fac.name,
+            )
+            node_spans: list = []
+            assigned: list[int] = []
+            if fac.nodes <= telemetry.max_node_tracks:
+                pool_free = free_nodes[task.facility]
+                assigned = pool_free[: task.nodes]
+                del pool_free[: task.nodes]
+                node_spans = [
+                    telemetry.begin(
+                        task.name, "node", facility=fac.name,
+                        track=f"node {i}", parent=attempt_span,
+                        attempt=attempt,
+                    )
+                    for i in assigned
+                ]
+            return attempt_span, node_spans, assigned
+
+        def close_attempt(
+            task: Task, opened, wall: float, gained: float,
+            ckpt: float, lost: float, completed: bool,
+        ) -> None:
+            assert telemetry is not None
+            attempt_span, node_spans, assigned = opened
+            telemetry.end(
+                attempt_span, wall=wall, gained=gained, completed=completed
+            )
+            for node_span in node_spans:
+                telemetry.end(node_span)
+            pool_free = free_nodes[task.facility]
+            pool_free.extend(assigned)
+            pool_free.sort()
+            m = telemetry.metrics
+            m.histogram("dag.attempt_seconds").record(wall)
+            m.counter("dag.busy_node_seconds").inc(wall * task.nodes)
+            m.counter("dag.useful_node_seconds").inc(gained * task.nodes)
+            m.counter("dag.checkpoint_node_seconds").inc(ckpt * task.nodes)
+            m.counter("dag.lost_node_seconds").inc(lost * task.nodes)
+
+        def account(task: Task, wall, gained, writes, completed) -> tuple:
+            """Node-second accounting shared by run fields and metrics."""
+            ckpt = writes * task.checkpoint_write_time
+            lost = 0.0 if completed else wall - gained - ckpt
+            run.busy_node_seconds += wall * task.nodes
+            run.useful_node_seconds += gained * task.nodes
+            run.checkpoint_node_seconds += ckpt * task.nodes
+            run.lost_node_seconds += lost * task.nodes
+            run.n_checkpoints += writes
+            return ckpt, lost
 
         def task_proc(task: Task, index: int):
             for dep in task.deps:
@@ -238,12 +369,25 @@ class TaskGraph:
                 # fault-free fast path: byte-for-byte the seed executor
                 yield pools[task.facility].acquire(task.nodes)
                 run.start_times[task.name] = engine.now
-                run.trace.record(engine.now, "start", task.name, task.nodes)
+                run.trace.record(
+                    engine.now, "start", task.name, {"nodes": task.nodes}
+                )
+                opened = open_attempt(task, 1) if telemetry else None
                 yield Timeout(duration)
                 pools[task.facility].release(task.nodes)
                 run.end_times[task.name] = engine.now
-                run.trace.record(engine.now, "end", task.name, duration)
+                run.trace.record(
+                    engine.now, "end", task.name, duration=duration
+                )
                 run.attempts[task.name] = 1
+                ckpt, lost = account(task, duration, duration, 0, True)
+                if telemetry is not None:
+                    close_attempt(task, opened, duration, duration,
+                                  ckpt, lost, True)
+                    telemetry.metrics.histogram(
+                        "dag.task_seconds"
+                    ).record(duration)
+                    telemetry.metrics.counter("dag.tasks_completed").inc()
                 return
             # resilient path: retry loop with checkpoint-restart
             rng = np.random.default_rng([seed, index])
@@ -253,8 +397,18 @@ class TaskGraph:
                 yield pools[task.facility].acquire(task.nodes)
                 if attempts == 0:
                     run.start_times[task.name] = engine.now
-                    run.trace.record(engine.now, "start", task.name, task.nodes)
+                    run.trace.record(
+                        engine.now, "start", task.name, {"nodes": task.nodes}
+                    )
                 attempts += 1
+                if telemetry is not None:
+                    opened = open_attempt(task, attempts)
+                    if attempts > 1 and committed > 0.0:
+                        telemetry.instant(
+                            f"restore:{task.name}", "checkpoint",
+                            facility="workflow", track=task.name,
+                            committed=committed, attempt=attempts,
+                        )
                 t_fail = float(rng.exponential(1.0 / task.failure_rate))
                 wall, gained, writes, completed = _attempt_timeline(
                     duration - committed,
@@ -266,26 +420,61 @@ class TaskGraph:
                 pools[task.facility].release(task.nodes)
                 committed += gained
                 run.checkpoint_seconds += writes * task.checkpoint_write_time
+                ckpt, lost = account(task, wall, gained, writes, completed)
+                if telemetry is not None:
+                    close_attempt(task, opened, wall, gained,
+                                  ckpt, lost, completed)
+                    telemetry.metrics.counter(
+                        "dag.checkpoint_writes"
+                    ).inc(writes)
                 if completed:
                     run.end_times[task.name] = engine.now
-                    run.trace.record(engine.now, "end", task.name, duration)
+                    run.trace.record(
+                        engine.now, "end", task.name, duration=duration
+                    )
                     run.attempts[task.name] = attempts
+                    if telemetry is not None:
+                        telemetry.metrics.histogram(
+                            "dag.task_seconds"
+                        ).record(
+                            run.end_times[task.name]
+                            - run.start_times[task.name]
+                        )
+                        telemetry.metrics.counter("dag.tasks_completed").inc()
                     return
                 run.n_failures += 1
                 run.lost_seconds += (
                     wall - gained - writes * task.checkpoint_write_time
                 )
                 run.trace.record(
-                    engine.now, "failure", task.name, attempts
+                    engine.now, "failure", task.name, {"attempt": attempts}
                 )
+                if telemetry is not None:
+                    telemetry.instant(
+                        f"failure:{task.name}", "fault",
+                        facility="workflow", track=task.name,
+                        attempt=attempts, lost_seconds=lost,
+                    )
+                    telemetry.metrics.counter("dag.failures").inc()
                 if retry.exhausted(attempts):
                     raise SimulationError(
                         f"task {task.name!r} failed {attempts} times "
                         "(retry budget exhausted)"
                     )
                 backoff = retry.delay(attempts, rng)
-                run.trace.record(engine.now, "retry", task.name, backoff)
+                run.trace.record(
+                    engine.now, "retry", task.name, duration=backoff
+                )
+                if telemetry is not None:
+                    telemetry.metrics.counter("dag.retries").inc()
+                    backoff_span = telemetry.begin(
+                        f"backoff:{task.name}", "backoff",
+                        facility="workflow", track=task.name,
+                        attempt=attempts,
+                    )
                 yield Timeout(backoff)
+                if telemetry is not None:
+                    telemetry.end(backoff_span)
 
         for index, (name, task) in enumerate(self.tasks.items()):
             procs[name] = engine.spawn(task_proc(task, index), name=name)
@@ -295,6 +484,14 @@ class TaskGraph:
             missing = set(self.tasks) - set(run.end_times)
             raise SimulationError(f"tasks never completed: {sorted(missing)}")
         run.makespan = max(run.end_times.values())
+        if telemetry is not None:
+            telemetry.metrics.gauge("dag.makespan_seconds").set(run.makespan)
+            telemetry.metrics.gauge(
+                "dag.goodput_fraction"
+            ).set(run.goodput_fraction)
+            telemetry.metrics.gauge(
+                "dag.lost_node_hours"
+            ).set(run.lost_node_hours)
         return run
 
     def serial_time(self) -> float:

@@ -69,3 +69,68 @@ class TestCommands:
     def test_gordon_bell_verbose(self, capsys):
         assert main(["gordon-bell", "--verbose"]) == 0
         assert "Kurth" in capsys.readouterr().out
+
+    def test_resilience_json(self, capsys):
+        assert main([
+            "resilience", "--nodes", "64", "--analytic-only", "--json",
+        ]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_nodes"] == 64
+        assert 0.0 < payload["goodput_fraction"] <= 1.0
+
+    def test_sweep_json(self, capsys):
+        assert main(["sweep", "--nodes", "64,256", "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "app"
+        assert [r["nodes"] for r in payload["rows"]] == [64, 256]
+        assert all(r["total_seconds"] > 0 for r in payload["rows"])
+
+
+class TestTelemetryCommand:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["telemetry", "--scenario", "nope"])
+
+    def test_dag_scenario_writes_perfetto_trace(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "run.trace.json"
+        assert main([
+            "telemetry", "--scenario", "dag", "--out", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "goodput fraction" in text
+        assert "match" in text and "MISMATCH" not in text
+        trace = json.loads(out.read_text())
+        events = trace["traceEvents"]
+        assert any(e["ph"] == "X" for e in events)  # >= 1 complete span
+        assert any(
+            e["ph"] == "i" and e["cat"] == "fault" for e in events
+        )
+        tracks = {
+            e["args"]["name"] for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert any(t.startswith("node ") for t in tracks)
+
+    def test_same_seed_identical_trace_files(self, tmp_path):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            assert main([
+                "telemetry", "--scenario", "dag", "--seed", "5",
+                "--out", str(path),
+            ]) == 0
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_json_mode(self, capsys):
+        import json
+
+        assert main(["telemetry", "--scenario", "scheduler", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "scheduler"
+        assert payload["n_spans"] > 0
+        assert "metrics" in payload and payload["results"]

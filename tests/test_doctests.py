@@ -20,6 +20,7 @@ MODULES = [
     "repro.portfolio.taxonomy",
     "repro.science.md",
     "repro.sim.engine",
+    "repro.telemetry",
     "repro.training.job",
     "repro.training.scaling",
     "repro.analysis.scaling_laws",
