@@ -7,6 +7,12 @@ wall-clock, the git SHA and the smoke flag, and writes
 ``BENCH_<name>.json`` into ``$REPRO_BENCH_DIR`` (default: the current
 working directory) so CI can upload the files as artifacts and successive
 runs can be diffed.
+
+Benchmarks whose scalars correspond to paper-stated numbers (the
+``BENCH_BINDINGS`` map in :mod:`repro.verify.expectations`) additionally
+get a ``"conformance"`` block: per-scalar pass/fail verdicts against the
+expectation registry, with the paper citation and relative error — so a
+downloaded record is self-judging, not just a bag of floats.
 """
 
 from __future__ import annotations
@@ -36,6 +42,15 @@ def _git_sha() -> str | None:
     return out.stdout.strip() or None
 
 
+def _conformance(name: str, scalars: dict[str, Any]) -> dict | None:
+    """Expectation-registry verdicts for this record's scalars, if bound."""
+    try:
+        from repro.verify import verdicts_for
+    except ImportError:  # pragma: no cover - repro not importable
+        return None
+    return verdicts_for(name, scalars)
+
+
 def record(
     name: str, scalars: dict[str, Any], wall_seconds: float | None = None
 ) -> Path:
@@ -43,12 +58,15 @@ def record(
 
     ``scalars`` is the benchmark's own payload (timings, speedups, grid
     sizes — JSON-serialisable values only); ``wall_seconds`` is the
-    benchmark's overall wall-clock when the caller measured one.
+    benchmark's overall wall-clock when the caller measured one. Scalars
+    bound to the expectation registry gain a ``"conformance"`` verdict
+    block (see the module docstring).
     """
     payload = {
         "name": name,
         "wall_seconds": wall_seconds,
         "scalars": scalars,
+        "conformance": _conformance(name, scalars),
         "git_sha": _git_sha(),
         "smoke": bool(os.environ.get("REPRO_SMOKE")),
     }

@@ -9,6 +9,7 @@ figure is 83.3%. Peak performance is 603 mixed precision PF at 4032 nodes."
 import dataclasses
 
 import pytest
+from _record import record
 from conftest import report
 
 from repro.apps.extreme_scale import get_app
@@ -32,6 +33,16 @@ def test_scaling_blanchard(benchmark):
     assert with_io["measured_efficiency"] == pytest.approx(0.68, abs=0.03)
     assert without_io["measured_efficiency"] == pytest.approx(0.833, abs=0.03)
     assert app.job(app.peak_nodes).global_batch() == pytest.approx(5.8e6, rel=0.01)
+
+    record(
+        "scaling_blanchard",
+        {
+            "peak_flops": with_io["measured_flops"],
+            "efficiency_with_io": with_io["measured_efficiency"],
+            "efficiency_without_io": without_io["measured_efficiency"],
+            "max_global_batch": app.job(app.peak_nodes).global_batch(),
+        },
+    )
 
     points = ScalingStudy(app.job(1)).weak_scaling([1, 16, 256, 4032])
     print()

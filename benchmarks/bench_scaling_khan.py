@@ -6,6 +6,7 @@ nodes of Summit."
 """
 
 import pytest
+from _record import record
 from conftest import report
 
 from repro.apps.extreme_scale import get_app
@@ -24,6 +25,11 @@ def test_scaling_khan(benchmark):
 
     assert peak.efficiency == pytest.approx(0.80, abs=0.03)
     assert app.reported["optimizer"] == "lamb" if "optimizer" in app.reported else True
+
+    record(
+        "scaling_khan",
+        {"efficiency": peak.efficiency, "nodes": peak.n_nodes},
+    )
 
     print()
     print(ScalingStudy.table(points, "Khan et al. — WaveNet weak scaling (8-node base)"))

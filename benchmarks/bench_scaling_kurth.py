@@ -5,6 +5,7 @@ and parallel efficiency of 90.7%."
 """
 
 import pytest
+from _record import record
 from conftest import report
 
 from repro.apps.extreme_scale import get_app
@@ -23,6 +24,12 @@ def test_scaling_kurth(benchmark):
 
     assert peak.sustained_flops == pytest.approx(1.13e18, rel=0.03)
     assert peak.efficiency == pytest.approx(0.907, abs=0.02)
+
+    record(
+        "scaling_kurth",
+        {"peak_flops": peak.sustained_flops, "efficiency": peak.efficiency,
+         "nodes": peak.n_nodes},
+    )
 
     print()
     print(ScalingStudy.table(points, "Kurth et al. — DeepLabv3+ weak scaling"))

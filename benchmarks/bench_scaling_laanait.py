@@ -5,6 +5,7 @@ Paper: "global batch size 27,600 ... scalability to 4600 nodes and peak
 """
 
 import pytest
+from _record import record
 from conftest import report
 
 from repro.apps.extreme_scale import get_app
@@ -25,6 +26,12 @@ def test_scaling_laanait(benchmark):
     assert peak.global_batch == 27600
     # Laanait's sustained-per-GPU is the highest of the five applications
     assert peak.sustained_flops / (4600 * 6) > 70e12
+
+    record(
+        "scaling_laanait",
+        {"peak_flops": peak.sustained_flops, "global_batch": peak.global_batch,
+         "nodes": peak.n_nodes},
+    )
 
     print()
     print(ScalingStudy.table(points, "Laanait et al. — FC-DenseNet weak scaling"))

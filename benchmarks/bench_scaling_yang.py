@@ -6,6 +6,7 @@ limits) on top of data parallelism.
 """
 
 import pytest
+from _record import record
 from conftest import report
 
 from repro.apps.extreme_scale import get_app
@@ -25,6 +26,12 @@ def test_scaling_yang(benchmark):
     assert peak.sustained_flops > 1.15e18  # "over 1.2" within 4 %
     assert peak.efficiency == pytest.approx(0.93, abs=0.02)
     assert app.plan.model_shards == 6  # intra-node model parallelism
+
+    record(
+        "scaling_yang",
+        {"peak_flops": peak.sustained_flops, "efficiency": peak.efficiency,
+         "nodes": peak.n_nodes, "model_shards": app.plan.model_shards},
+    )
 
     print()
     print(ScalingStudy.table(points, "Yang et al. — PI-GAN hybrid-parallel scaling"))

@@ -8,6 +8,7 @@ larger than BERT-large become communication-bound."
 """
 
 import pytest
+from _record import record
 from conftest import report
 
 from repro.machine.gpu import NVIDIA_V100
@@ -29,6 +30,13 @@ def test_section6b_allreduce_times(benchmark):
 
     assert t_resnet == pytest.approx(8e-3, rel=0.05)
     assert t_bert == pytest.approx(110e-3, rel=0.05)
+
+    record(
+        "section6b_allreduce",
+        {"resnet50_seconds": t_resnet, "bert_large_seconds": t_bert,
+         "resnet50_message_bytes": r50.gradient_bytes,
+         "bert_large_message_bytes": bert.gradient_bytes},
+    )
 
     report(
         "Section VI-B — data-parallel allreduce estimates",

@@ -16,10 +16,14 @@ Commands mirror the paper's strands:
   surface (``--crossover``);
 - ``telemetry`` — run an instrumented scenario (workflow DAG, batch
   scheduler, or checkpoint-restart job) and export a Perfetto-loadable
-  Chrome trace plus a metrics summary.
+  Chrome trace plus a metrics summary;
+- ``verify``    — run the paper-parity conformance battery: the full
+  expectation registry (every paper-stated number), cross-path
+  differential runners and structural invariant audits, with a
+  deterministic JSON report for CI (same seed, byte-identical bytes).
 
-``resilience``, ``sweep`` and ``telemetry`` accept ``--json`` for
-machine-readable output.
+``resilience``, ``sweep``, ``telemetry`` and ``verify`` accept ``--json``
+for machine-readable output.
 """
 
 from __future__ import annotations
@@ -269,6 +273,28 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import build_registry, run_conformance
+
+    if args.list:
+        for e in build_registry():
+            print(f"{e.key:<42} {e.paper:<18} {e.description}")
+        return 0
+    sections = args.sections.split(",") if args.sections else None
+    report = run_conformance(seed=args.seed, sections=sections)
+    output = report.to_json() if args.json else report.format() + "\n"
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(output)
+        if not args.json:
+            print(output, end="")
+        print(f"report written to {args.out}")
+    else:
+        print(output, end="")
+    return 0 if report.passed else 1
+
+
 def _cmd_gordon_bell(args: argparse.Namespace) -> int:
     from repro.apps.registry import GORDON_BELL_FINALISTS, gordon_bell_table
 
@@ -388,6 +414,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit scenario results + metrics as JSON")
     p.set_defaults(fn=_cmd_telemetry)
+
+    p = sub.add_parser(
+        "verify",
+        help="run the paper-parity conformance battery (exit 1 on failure)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--sections", default=None,
+                   help="comma-separated registry sections to check "
+                        "(e.g. fig1,section4b; default: all)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full conformance report as JSON "
+                        "(byte-identical for identical seeds)")
+    p.add_argument("--out", default=None, metavar="REPORT",
+                   help="also write the report to this file")
+    p.add_argument("--list", action="store_true",
+                   help="list every registered expectation and exit")
+    p.set_defaults(fn=_cmd_verify)
 
     return parser
 

@@ -1,0 +1,43 @@
+"""Shared fixtures for the tier-1 suite.
+
+The conformance fixtures are session-scoped: the expectation registry's
+measurement substrate (the calibrated portfolio, the five app simulations,
+the Section V workflow campaigns) is computed once and shared by every
+parametrized expectation test in ``test_conformance.py``.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def verify_context():
+    """One shared, lazily-populated measurement cache (seed 0)."""
+    from repro.verify import VerifyContext
+
+    return VerifyContext(seed=0)
+
+
+@pytest.fixture(scope="session")
+def conformance_report(verify_context):
+    """The full conformance battery, run once per session.
+
+    Reuses ``verify_context``'s cached measurements for the expectation
+    layer, so the marginal cost over the registry tests is just the
+    differential and invariant batteries.
+    """
+    from repro.verify import build_registry
+    from repro.verify.differential import run_differentials
+    from repro.verify.invariants import run_invariants
+    from repro.verify.report import ConformanceReport
+
+    registry = build_registry()
+    ordered: dict[str, None] = {}
+    for e in registry:
+        ordered.setdefault(e.section, None)
+    return ConformanceReport(
+        seed=verify_context.seed,
+        sections=tuple(ordered),
+        expectations=[e.check(verify_context) for e in registry],
+        differentials=run_differentials(seed=verify_context.seed),
+        invariants=run_invariants(seed=verify_context.seed),
+    )

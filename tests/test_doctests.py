@@ -24,6 +24,10 @@ MODULES = [
     "repro.training.job",
     "repro.training.scaling",
     "repro.analysis.scaling_laws",
+    "repro.verify.expectations",
+    "repro.verify.differential",
+    "repro.verify.invariants",
+    "repro.verify.report",
 ]
 
 
