@@ -90,16 +90,29 @@ class ExtremeScaleApp:
             data_source=self.data_source,
         )
 
-    def sweep_nodes(self, n_nodes, system: System | None = None):
+    def sweep_nodes(
+        self,
+        n_nodes,
+        system: System | None = None,
+        n_jobs: int = 1,
+        cache=None,
+    ):
         """Vectorized step-time sweep over a node-count axis.
 
         ``n_nodes`` is any 1-D integer sequence; node counts must be
         multiples of the replica span for model-parallel apps. Returns a
         :class:`~repro.cost.sweep.SweepResult`.
+
+        ``n_jobs`` shards the grid over a process pool (bit-identical to
+        the serial pass) and ``cache`` is an optional
+        :class:`~repro.exec.ResultCache` for content-addressed reuse.
         """
         from repro.cost import sweep
 
-        return sweep(self.cost_model(system), {"n_nodes": n_nodes})
+        return sweep(
+            self.cost_model(system), {"n_nodes": n_nodes},
+            n_jobs=n_jobs, cache=cache,
+        )
 
     def resilience_report(
         self,
@@ -119,6 +132,25 @@ class ExtremeScaleApp:
         number the five scaling reproductions quote becomes a
         time-to-solution number.
         """
+        nodes = n_nodes if n_nodes is not None else self.peak_nodes
+        model = self.goodput_model(
+            nodes, node_mtbf_seconds, state_bytes_per_node, system
+        )
+        return model.report(
+            name=f"{self.key} @ {nodes} nodes ({tier})",
+            tier=tier,
+            empirical=empirical,
+            seed=seed,
+        )
+
+    def goodput_model(
+        self,
+        n_nodes: int | None = None,
+        node_mtbf_seconds: float | None = None,
+        state_bytes_per_node: float | None = None,
+        system: System | None = None,
+    ) -> "GoodputModel":
+        """The resilience-aware throughput model at this app's width."""
         from repro.resilience.faults import DEFAULT_NODE_MTBF_SECONDS
         from repro.training.goodput import (
             DEFAULT_STATE_BYTES_PER_NODE,
@@ -126,9 +158,8 @@ class ExtremeScaleApp:
         )
 
         nodes = n_nodes if n_nodes is not None else self.peak_nodes
-        job = self.job(nodes, system)
-        model = GoodputModel(
-            job=job,
+        return GoodputModel(
+            job=self.job(nodes, system),
             node_mtbf_seconds=(
                 node_mtbf_seconds
                 if node_mtbf_seconds is not None
@@ -140,11 +171,29 @@ class ExtremeScaleApp:
                 else DEFAULT_STATE_BYTES_PER_NODE
             ),
         )
-        return model.report(
-            name=f"{self.key} @ {nodes} nodes ({tier})",
-            tier=tier,
-            empirical=empirical,
-            seed=seed,
+
+    def resilience_ensemble(
+        self,
+        n_nodes: int | None = None,
+        node_mtbf_seconds: float | None = None,
+        state_bytes_per_node: float | None = None,
+        tier: str = "nvme",
+        n_replicas: int = 8,
+        seed: int = 0,
+        n_jobs: int = 1,
+        system: System | None = None,
+    ) -> "list[RestartStats]":
+        """A Monte-Carlo ensemble of checkpoint-restart runs for this app.
+
+        Replica ``i`` uses the ``i``-th child of ``seed``; the replica list
+        is identical at every ``n_jobs``, so averaging the overheads gives
+        an ``n_jobs``-invariant error bar around the Young/Daly optimum.
+        """
+        model = self.goodput_model(
+            n_nodes, node_mtbf_seconds, state_bytes_per_node, system
+        )
+        return model.simulate_ensemble(
+            tier=tier, seed=seed, n_replicas=n_replicas, n_jobs=n_jobs
         )
 
 

@@ -23,7 +23,11 @@ Commands mirror the paper's strands:
   deterministic JSON report for CI (same seed, byte-identical bytes).
 
 ``resilience``, ``sweep``, ``telemetry`` and ``verify`` accept ``--json``
-for machine-readable output.
+for machine-readable output, and all four accept ``--jobs N`` to fan work
+out over a process pool — results are bit-identical at every worker count.
+``sweep`` caches results content-addressed under ``.repro-cache/``
+(``--no-cache`` disables); ``telemetry`` and ``resilience`` accept
+``--replicas N`` for seeded Monte-Carlo ensembles.
 """
 
 from __future__ import annotations
@@ -103,14 +107,27 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
 
     app = get_app(args.app)
     nodes = args.nodes if args.nodes is not None else app.peak_nodes
+    mtbf_seconds = args.mtbf_years * 365 * 24 * 3600.0
+    state_bytes = args.state_gb * 1e9
     report = app.resilience_report(
         n_nodes=nodes,
-        node_mtbf_seconds=args.mtbf_years * 365 * 24 * 3600.0,
-        state_bytes_per_node=args.state_gb * 1e9,
+        node_mtbf_seconds=mtbf_seconds,
+        state_bytes_per_node=state_bytes,
         tier=args.tier,
         empirical=not args.analytic_only,
         seed=args.seed,
     )
+    ensemble = None
+    if args.replicas > 1 and not args.analytic_only:
+        ensemble = app.resilience_ensemble(
+            n_nodes=nodes,
+            node_mtbf_seconds=mtbf_seconds,
+            state_bytes_per_node=state_bytes,
+            tier=args.tier,
+            n_replicas=args.replicas,
+            seed=args.seed,
+            n_jobs=args.jobs,
+        )
     if args.json:
         import dataclasses
         import json
@@ -122,6 +139,13 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
         if not args.analytic_only:
             payload["agreement"] = report.agreement()
             payload["matches_analytical"] = report.matches_analytical()
+        if ensemble is not None:
+            overheads = [s.overhead_fraction for s in ensemble]
+            payload["ensemble"] = {
+                "n_replicas": args.replicas,
+                "overhead_fractions": overheads,
+                "mean_overhead": sum(overheads) / len(overheads),
+            }
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     print(report.format())
@@ -132,6 +156,15 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
             "empirical checkpoint+rework overhead "
             f"{'matches' if report.matches_analytical() else 'DEVIATES FROM'} "
             f"the Young/Daly optimum (rel. err {agreement:.1%}, tol 20%)"
+        )
+    if ensemble is not None:
+        overheads = [s.overhead_fraction for s in ensemble]
+        mean = sum(overheads) / len(overheads)
+        spread = max(overheads) - min(overheads)
+        print(
+            f"ensemble of {args.replicas} seeded replicas: "
+            f"mean overhead {mean:.4f} (spread {spread:.4f}, "
+            f"analytic {report.analytical_overhead:.4f})"
         )
     return 0
 
@@ -148,12 +181,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     import numpy as np
 
     nodes = _parse_nodes(args.nodes)
+    cache = None
+    if not args.no_cache:
+        from repro.exec import ResultCache
+
+        cache = ResultCache()
 
     if args.crossover:
         sim = SummitSimulator()
         sizes = np.array([float(s) * 1e6 for s in args.message_mb.split(",")])
         result = sim.crossover_surface(
-            sizes, np.array(nodes), compute_time=args.compute_ms * 1e-3
+            sizes, np.array(nodes), compute_time=args.compute_ms * 1e-3,
+            n_jobs=args.jobs, cache=cache,
         )
         from repro.cost import crossover_nodes
 
@@ -194,12 +233,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 f"{units.format_time(paper[i]):>10}  "
                 f"{units.format_time(ring[i, -1]):>10}  {at:>15}"
             )
+        if cache is not None:
+            print(_cache_note(cache))
         return 0
 
     from repro.apps.extreme_scale import get_app
 
     app = get_app(args.app)
-    result = app.sweep_nodes(nodes)
+    result = app.sweep_nodes(nodes, n_jobs=args.jobs, cache=cache)
     total = result.total()
     if args.json:
         import json
@@ -233,15 +274,38 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{bd['straggler'] * 1e3:>8.2f}m  {total[i] * 1e3:>8.2f}m  "
             f"{bd['samples'] / total[i]:>12.0f}"
         )
+    if cache is not None:
+        print(_cache_note(cache))
     return 0
+
+
+def _cache_note(cache) -> str:
+    state = "hit (reused)" if cache.hits else "miss (stored)"
+    return f"result cache: {state} under {cache.root}"
 
 
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     from repro.telemetry import chrome_trace, summary, write_chrome_trace
-    from repro.telemetry.scenarios import run_scenario
+    from repro.telemetry.scenarios import run_scenario, run_scenario_replicas
 
-    scenario = run_scenario(args.scenario, seed=args.seed)
-    tel = scenario.telemetry
+    if args.replicas > 1:
+        tel, replicas = run_scenario_replicas(
+            args.scenario, args.replicas, seed=args.seed, n_jobs=args.jobs
+        )
+        results = [r.results for r in replicas]
+        report_lines = []
+        for i, replica in enumerate(replicas):
+            report_lines.append(f"replica {i}:")
+            report_lines.extend(
+                f"  {line}" for line in replica.report_lines if line
+            )
+        name = replicas[0].name
+    else:
+        scenario = run_scenario(args.scenario, seed=args.seed)
+        tel = scenario.telemetry
+        results = scenario.results
+        report_lines = scenario.report_lines
+        name = scenario.name
     if args.out:
         write_chrome_trace(tel, args.out)
     if args.json:
@@ -249,20 +313,25 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
 
         trace = chrome_trace(tel)
         payload = {
-            "scenario": scenario.name,
+            "scenario": name,
             "seed": args.seed,
+            "n_replicas": args.replicas,
             "out": args.out,
             "n_trace_events": len(trace["traceEvents"]),
             "n_spans": len(tel.finished_spans()),
             "n_instants": len(tel.instants),
-            "results": scenario.results,
+            "results": results,
             "metrics": tel.metrics.as_dict(),
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
-    print(f"telemetry scenario {scenario.name!r} (seed {args.seed})")
+    print(
+        f"telemetry scenario {name!r} (seed {args.seed}"
+        + (f", {args.replicas} replicas" if args.replicas > 1 else "")
+        + ")"
+    )
     print()
-    for line in scenario.report_lines:
+    for line in report_lines:
         print(f"  {line}")
     print()
     print(summary(tel))
@@ -281,7 +350,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             print(f"{e.key:<42} {e.paper:<18} {e.description}")
         return 0
     sections = args.sections.split(",") if args.sections else None
-    report = run_conformance(seed=args.seed, sections=sections)
+    report = run_conformance(
+        seed=args.seed, sections=sections, n_jobs=args.jobs
+    )
     output = report.to_json() if args.json else report.format() + "\n"
     if args.out:
         from pathlib import Path
@@ -308,10 +379,27 @@ def _cmd_gordon_bell(args: argparse.Namespace) -> int:
     return 0
 
 
+_EPILOG = """\
+parallel execution & caching:
+  --jobs N       fan the work out over N worker processes (sweep, verify,
+                 telemetry, resilience); results are bit-identical to the
+                 serial run at every worker count
+  --no-cache     (sweep) disable the content-addressed result cache; by
+                 default sweeps are cached under .repro-cache/ (override
+                 the location with $REPRO_CACHE_DIR), keyed by model,
+                 grid, fixed parameters and a source-tree fingerprint
+  --replicas N   (telemetry, resilience) run N seeded Monte-Carlo replicas
+                 over SeedSequence child seeds; telemetry merges the
+                 replica traces into one well-formed Chrome trace
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction toolkit for 'Learning to Scale the Summit'",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -374,6 +462,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--analytic-only", action="store_true",
                    help="skip the event-driven empirical simulation")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="Monte-Carlo ensemble size over child seeds "
+                        "(default 1: the single seeded run)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the replica ensemble "
+                        "(0 = all cores)")
     p.add_argument("--json", action="store_true",
                    help="emit the report as JSON")
     p.set_defaults(fn=_cmd_resilience)
@@ -395,6 +489,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "default ResNet-50 and BERT-large)")
     p.add_argument("--compute-ms", type=float, default=50.0,
                    help="per-step compute budget in ms (crossover mode)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the grid evaluation "
+                        "(0 = all cores); bit-identical to serial")
+    p.add_argument("--no-cache", action="store_true",
+                   help="skip the content-addressed result cache "
+                        "(.repro-cache/ or $REPRO_CACHE_DIR)")
     p.add_argument("--json", action="store_true",
                    help="emit the sweep table as JSON")
     p.set_defaults(fn=_cmd_sweep)
@@ -411,6 +511,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, metavar="TRACE_JSON",
                    help="write the Chrome trace-event file here "
                         "(load in Perfetto / chrome://tracing)")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="run N seeded replicas and merge their traces "
+                        "into one (default 1)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the replicas (0 = all cores)")
     p.add_argument("--json", action="store_true",
                    help="emit scenario results + metrics as JSON")
     p.set_defaults(fn=_cmd_telemetry)
@@ -423,6 +528,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sections", default=None,
                    help="comma-separated registry sections to check "
                         "(e.g. fig1,section4b; default: all)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes — one task per paper section "
+                        "plus the differential/invariant batteries; the "
+                        "report is byte-identical at every worker count")
     p.add_argument("--json", action="store_true",
                    help="emit the full conformance report as JSON "
                         "(byte-identical for identical seeds)")

@@ -69,12 +69,16 @@ def crossover_sweep(
     latency: float,
     compute_time: float,
     algorithm: str | None = "ring",
+    n_jobs: int = 1,
+    cache: Any = None,
 ) -> SweepResult:
     """Map the crossover surface over (message size x ranks x bandwidth).
 
     Any of the first three arguments may be a 1-D sequence (becoming a grid
     axis) or a scalar (held fixed). Returns a :class:`SweepResult` whose
     ``comm_compute_ratio`` term locates the comm-bound region.
+
+    ``n_jobs`` / ``cache`` are forwarded to :func:`repro.cost.sweep`.
     """
     grid: dict[str, Any] = {}
     fixed: dict[str, Any] = {
@@ -91,7 +95,9 @@ def crossover_sweep(
             grid[name] = value
         else:
             fixed[name] = value
-    return sweep(DataParallelCrossoverModel(), grid, **fixed)
+    return sweep(
+        DataParallelCrossoverModel(), grid, n_jobs=n_jobs, cache=cache, **fixed
+    )
 
 
 def crossover_nodes(result: SweepResult) -> np.ndarray:

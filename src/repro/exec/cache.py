@@ -1,0 +1,222 @@
+"""Content-addressed on-disk result cache under ``.repro-cache/``.
+
+Results are keyed by a SHA-256 digest of *what was computed*: a canonical
+encoding of the (model/config mapping, grid axes, seed, fixed parameters)
+payload plus a fingerprint of the ``repro`` package source. Because the
+fingerprint participates in the key, editing any ``.py`` file under the
+package silently invalidates every prior entry — stale results can never be
+returned after a refactor.
+
+Entries are stored as pickle files, two-level sharded by digest prefix
+(``.repro-cache/ab/ab12...pkl``). A hit returns exactly the bytes that were
+stored; hit/miss totals land both on the instance and, when a
+:class:`~repro.telemetry.metrics.MetricsRegistry` is attached, in
+``cache.hits`` / ``cache.misses`` counters. ``enabled=False`` (the CLI's
+``--no-cache``) turns every lookup into a recompute without touching disk.
+
+>>> import tempfile
+>>> cache = ResultCache(root=tempfile.mkdtemp())
+>>> cache.get_or_compute("demo", {"x": 1}, lambda: [1, 2, 3])
+[1, 2, 3]
+>>> cache.get_or_compute("demo", {"x": 1}, lambda: (_ for _ in ()).throw(
+...     RuntimeError("never recomputed on a hit")))
+[1, 2, 3]
+>>> (cache.hits, cache.misses)
+(1, 1)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import fields, is_dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ResultCache", "code_fingerprint", "content_key"]
+
+#: Environment override for the cache location (CI points it at a workspace
+#: subdirectory so artifacts can be inspected).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_FINGERPRINT: str | None = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over every ``.py`` source file of the ``repro`` package.
+
+    Computed once per process and cached; participates in every cache key
+    so any source change invalidates all previously stored results.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+def _feed(digest: Any, obj: Any) -> None:
+    """Canonically encode ``obj`` into ``digest`` (order-stable, typed)."""
+    if obj is None:
+        digest.update(b"n;")
+    elif isinstance(obj, bool):
+        digest.update(f"b:{obj};".encode())
+    elif isinstance(obj, int):
+        digest.update(f"i:{obj};".encode())
+    elif isinstance(obj, float):
+        digest.update(f"f:{obj.hex()};".encode())
+    elif isinstance(obj, str):
+        digest.update(f"s:{len(obj)}:".encode() + obj.encode() + b";")
+    elif isinstance(obj, bytes):
+        digest.update(f"y:{len(obj)}:".encode() + obj + b";")
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        digest.update(
+            f"a:{arr.dtype.str}:{arr.shape}:".encode() + arr.tobytes() + b";"
+        )
+    elif isinstance(obj, np.generic):
+        _feed(digest, obj.item())
+    elif isinstance(obj, dict):
+        digest.update(b"d:")
+        for key in sorted(obj, key=repr):
+            _feed(digest, key)
+            _feed(digest, obj[key])
+        digest.update(b";")
+    elif isinstance(obj, (list, tuple)):
+        digest.update(b"l:")
+        for item in obj:
+            _feed(digest, item)
+        digest.update(b";")
+    elif is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        digest.update(f"o:{cls.__module__}.{cls.__qualname__}:".encode())
+        _feed(digest, {f.name: getattr(obj, f.name) for f in fields(obj)})
+        digest.update(b";")
+    elif hasattr(obj, "__dict__") and not callable(obj):
+        cls = type(obj)
+        digest.update(f"o:{cls.__module__}.{cls.__qualname__}:".encode())
+        _feed(digest, vars(obj))
+        digest.update(b";")
+    else:
+        raise ConfigurationError(
+            f"cannot build a content key over {type(obj).__name__!r} "
+            f"({obj!r}); pass plain data, arrays or dataclasses"
+        )
+
+
+def content_key(kind: str, payload: Any) -> str:
+    """The cache key: digest of (kind, canonical payload, code fingerprint).
+
+    >>> a = content_key("sweep", {"x": [1, 2]})
+    >>> a == content_key("sweep", {"x": [1, 2]})
+    True
+    >>> a == content_key("sweep", {"x": [1, 3]})
+    False
+    """
+    digest = hashlib.sha256()
+    digest.update(f"k:{kind};".encode())
+    _feed(digest, payload)
+    digest.update(f"src:{code_fingerprint()};".encode())
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Content-addressed pickle store with hit/miss accounting."""
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        enabled: bool = True,
+        metrics: Any = None,
+    ):
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+        self.enabled = enabled
+        self.metrics = metrics
+        self.hits = 0
+        self.misses = 0
+
+    # -- low-level ----------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def load(self, key: str) -> tuple[bool, Any]:
+        """``(hit, value)``; unreadable or corrupt entries count as misses."""
+        if not self.enabled:
+            return False, None
+        path = self.path_for(key)
+        try:
+            raw = path.read_bytes()
+            value = pickle.loads(raw)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return False, None
+        return True, value
+
+    def store(self, key: str, value: Any) -> Path | None:
+        """Persist ``value`` under ``key`` (atomic rename; no-op if disabled)."""
+        if not self.enabled:
+            return None
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_bytes(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+        tmp.replace(path)
+        return path
+
+    # -- the one entry point callers use ------------------------------------------
+
+    def get_or_compute(
+        self, kind: str, payload: Any, compute: Callable[[], Any]
+    ) -> Any:
+        """Return the cached value for (kind, payload), computing on miss."""
+        if not self.enabled:
+            return compute()
+        key = content_key(kind, payload)
+        hit, value = self.load(key)
+        if hit:
+            self.hits += 1
+            self._count("cache.hits")
+            return value
+        self.misses += 1
+        self._count("cache.misses")
+        value = compute()
+        self.store(key, value)
+        return value
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
+
+    def clear(self) -> int:
+        """Delete every stored entry; returns the number removed."""
+        removed = 0
+        if self.root.exists():
+            for path in self.root.rglob("*.pkl"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "on" if self.enabled else "off"
+        return (
+            f"ResultCache({str(self.root)!r}, {state}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -170,3 +170,44 @@ def simulate_checkpoint_restart(
         lost_seconds=stats["lost_seconds"],
         restart_seconds=stats["restart_seconds"],
     )
+
+
+def _restart_replica(kwargs: dict, child_seed: int) -> RestartStats:
+    return simulate_checkpoint_restart(seed=child_seed, **kwargs)
+
+
+def restart_ensemble(
+    work_seconds: float,
+    interval: float,
+    write_time: float,
+    n_nodes: int,
+    node_mtbf_seconds: float,
+    n_replicas: int = 8,
+    seed: int = 0,
+    n_jobs: int = 1,
+    restart_delay: float = 0.0,
+) -> list[RestartStats]:
+    """A Monte-Carlo ensemble of checkpoint-restart runs, one per child seed.
+
+    Replica ``i`` runs :func:`simulate_checkpoint_restart` with the ``i``-th
+    ``SeedSequence`` child of ``seed`` — independent failure streams whose
+    assignment never depends on ``n_jobs``, so the returned list (replica
+    order) is identical whether the ensemble ran serially or fanned out
+    over a process pool. Averaging ``overhead_fraction`` across replicas is
+    how the Young/Daly validation shrinks its stochastic error bar.
+    """
+    from functools import partial
+
+    from repro.exec.replicas import monte_carlo
+
+    kwargs = dict(
+        work_seconds=work_seconds,
+        interval=interval,
+        write_time=write_time,
+        n_nodes=n_nodes,
+        node_mtbf_seconds=node_mtbf_seconds,
+        restart_delay=restart_delay,
+    )
+    return monte_carlo(
+        partial(_restart_replica, kwargs), n_replicas, seed=seed, n_jobs=n_jobs
+    )

@@ -377,3 +377,42 @@ class Scheduler:
         if now < job.submit_time:
             raise AssertionError("job started before submission")
         starts.setdefault(job.job_id, now)
+
+
+def _schedule_replica(
+    n_nodes: int, policy: Policy, jobs: list[Job], faults: FaultModel,
+    child_seed: int,
+) -> ScheduleResult:
+    import dataclasses
+
+    seeded = dataclasses.replace(faults, seed=child_seed)
+    return Scheduler(n_nodes, policy).run(list(jobs), faults=seeded)
+
+
+def schedule_ensemble(
+    n_nodes: int,
+    jobs: list[Job],
+    faults: FaultModel,
+    n_replicas: int = 8,
+    seed: int = 0,
+    n_jobs: int = 1,
+    policy: Policy = Policy.CAPABILITY,
+) -> list[ScheduleResult]:
+    """A Monte-Carlo ensemble of fault-injected schedules over child seeds.
+
+    Replica ``i`` reruns the same workload with the fault model reseeded to
+    the ``i``-th ``SeedSequence`` child of ``seed``; seeds are assigned by
+    replica index — never by shard layout — so the result list is identical
+    for every ``n_jobs``. Use it to put error bars on utilization, goodput
+    and lost node-hours instead of quoting a single failure draw.
+    """
+    from functools import partial
+
+    from repro.exec.replicas import monte_carlo
+
+    return monte_carlo(
+        partial(_schedule_replica, n_nodes, policy, list(jobs), faults),
+        n_replicas,
+        seed=seed,
+        n_jobs=n_jobs,
+    )

@@ -46,7 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry import Telemetry
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Timeout:
     """Effect: advance the yielding process by ``delay`` simulated seconds."""
 
@@ -80,7 +80,18 @@ class _Throw:
 
 
 class Process:
-    """A running simulated process wrapping a generator."""
+    """A running simulated process wrapping a generator.
+
+    ``__slots__`` keeps the per-process footprint flat: large simulations
+    (scheduler ensembles, fault sweeps) allocate thousands of these on the
+    hot path.
+    """
+
+    __slots__ = (
+        "engine", "gen", "name", "finished", "killed", "result",
+        "started_at", "finished_at", "_waiters", "_epoch", "_waiting_on",
+        "_tel_span",
+    )
 
     def __init__(self, engine: Engine, gen: Generator, name: str = ""):
         self.engine = engine
@@ -118,6 +129,8 @@ class Engine:
     telemetry code runs — the hot path is the uninstrumented seed path.
     """
 
+    __slots__ = ("now", "telemetry", "_heap", "_seq", "_active", "_current")
+
     def __init__(self, telemetry: "Telemetry | None" = None):
         self.now = 0.0
         self.telemetry = telemetry
@@ -145,16 +158,23 @@ class Engine:
         )
 
     def run(self, until: float | None = None) -> None:
-        """Run until no events remain, or simulated time would pass ``until``."""
-        while self._heap:
-            when, _, epoch, proc, send_value = self._heap[0]
+        """Run until no events remain, or simulated time would pass ``until``.
+
+        One heap pop per event: entries whose epoch was bumped by an
+        interrupt are discarded lazily as they surface (never re-popped
+        eagerly), and an entry beyond ``until`` is pushed back once — the
+        rare case — instead of peeking the heap top on every iteration.
+        """
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            when, _, epoch, proc, send_value = entry
             if epoch != proc._epoch:  # cancelled by an interrupt
-                heapq.heappop(self._heap)
                 continue
             if until is not None and when > until:
+                heapq.heappush(heap, entry)
                 self.now = until
                 return
-            heapq.heappop(self._heap)
             if when < self.now:
                 raise SimulationError("event scheduled in the past")
             self.now = when

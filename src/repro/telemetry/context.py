@@ -52,6 +52,19 @@ class Telemetry:
         self.metrics = MetricsRegistry()
         self._ids = itertools.count(1)
 
+    # -- pickling (handles cross process boundaries in the exec fabric) -----------
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["clock"] = None  # clocks are process-local callables
+        state["_ids"] = max((s.span_id for s in self.spans), default=0) + 1
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        next_id = state.pop("_ids")
+        self.__dict__.update(state)
+        self._ids = itertools.count(next_id)
+
     # -- clock -------------------------------------------------------------------
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
@@ -169,6 +182,67 @@ class Telemetry:
                 facility=facility,
             )
         )
+
+    # -- shard merging -----------------------------------------------------------
+
+    def absorb(
+        self,
+        other: "Telemetry",
+        parent: Span | None = None,
+        suffix: str | None = None,
+    ) -> None:
+        """Fold a shard's telemetry into this handle, keeping the tree valid.
+
+        Span ids are re-issued from this handle's counter with parent links
+        remapped (a parent is always begun before its children, so the
+        mapping is complete by the time a child arrives); ``parent``
+        optionally re-roots the shard's top-level spans under a span of this
+        handle. Instants and counter samples append; metrics merge via
+        :meth:`MetricsRegistry.merge`. The absorbed handle must be
+        discarded afterwards — its records now belong to this one.
+
+        ``suffix`` namespaces the absorbed records — appended to every
+        facility and counter-resource name. Replica merges need it: each
+        replica re-runs the same simulated timeline, so without distinct
+        resource names their occupancy samples would interleave
+        non-monotonically (and their Perfetto tracks would overlap).
+        """
+        import dataclasses
+
+        mapping: dict[int, int] = {}
+        for span in other.spans:
+            new_id = next(self._ids)
+            mapping[span.span_id] = new_id
+            span.span_id = new_id
+            if span.parent_id is not None:
+                if span.parent_id not in mapping:
+                    raise ConfigurationError(
+                        f"span {span.name!r} references parent "
+                        f"#{span.parent_id} outside the absorbed handle"
+                    )
+                span.parent_id = mapping[span.parent_id]
+            elif parent is not None:
+                span.parent_id = parent.span_id
+            if suffix:
+                span.facility = f"{span.facility}{suffix}"
+            self.spans.append(span)
+        if suffix:
+            self.instants.extend(
+                dataclasses.replace(e, facility=f"{e.facility}{suffix}")
+                for e in other.instants
+            )
+            self.samples.extend(
+                dataclasses.replace(
+                    s,
+                    facility=f"{s.facility}{suffix}",
+                    resource=f"{s.resource}{suffix}",
+                )
+                for s in other.samples
+            )
+        else:
+            self.instants.extend(other.instants)
+            self.samples.extend(other.samples)
+        self.metrics.merge(other.metrics)
 
     # -- derived views -----------------------------------------------------------
 

@@ -140,6 +140,33 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._instruments)
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (shard aggregation).
+
+        Counters add, histograms combine bucket-wise (edges must match),
+        and gauges take the other registry's value — last writer wins, the
+        same semantics as two sequential ``set`` calls.
+        """
+        for name in other:
+            theirs = other[name]
+            if isinstance(theirs, Counter):
+                self.counter(name).inc(theirs.value)
+            elif isinstance(theirs, Gauge):
+                self.gauge(name).set(theirs.value)
+            else:
+                mine = self.histogram(name, theirs.edges)
+                for i, count in enumerate(theirs.counts):
+                    mine.counts[i] += count
+                mine.total += theirs.total
+                mine.n += theirs.n
+                for bound in (theirs.min_value, theirs.max_value):
+                    if bound is None:
+                        continue
+                    if mine.min_value is None or bound < mine.min_value:
+                        mine.min_value = bound
+                    if mine.max_value is None or bound > mine.max_value:
+                        mine.max_value = bound
+
     def as_dict(self) -> dict:
         """Deterministic plain-data view (for JSON export and summaries)."""
         out: dict[str, dict] = {}

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigurationError
 from repro.telemetry.context import Telemetry
 
-__all__ = ["Scenario", "SCENARIOS", "run_scenario"]
+__all__ = ["Scenario", "SCENARIOS", "run_scenario", "run_scenario_replicas"]
 
 
 @dataclass
@@ -200,3 +200,39 @@ def run_scenario(name: str, seed: int = 0) -> Scenario:
             f"choose from {sorted(SCENARIOS)}"
         )
     return SCENARIOS[name](seed)
+
+
+def _scenario_replica(name: str, child_seed: int) -> Scenario:
+    return run_scenario(name, seed=child_seed)
+
+
+def run_scenario_replicas(
+    name: str,
+    n_replicas: int,
+    seed: int = 0,
+    n_jobs: int = 1,
+) -> tuple[Telemetry, list[Scenario]]:
+    """Run ``n_replicas`` seeded replicas of one scenario and merge traces.
+
+    Replica ``i`` runs with the ``i``-th ``SeedSequence`` child of ``seed``
+    (the assignment never depends on ``n_jobs``), and every replica's
+    telemetry is absorbed — span ids re-issued, parent links preserved,
+    facility and resource names suffixed with ``" [rI]"`` so replica
+    timelines stay distinct — into one merged handle whose trace passes
+    the span-tree invariant audit. Both the merged handle and the
+    per-replica :class:`Scenario` list are identical whether the replicas
+    ran serially or in a pool.
+    """
+    from functools import partial
+
+    from repro.exec.replicas import monte_carlo
+
+    if n_replicas < 1:
+        raise ConfigurationError("need at least one replica")
+    replicas = monte_carlo(
+        partial(_scenario_replica, name), n_replicas, seed=seed, n_jobs=n_jobs
+    )
+    merged = Telemetry()
+    for i, replica in enumerate(replicas):
+        merged.absorb(replica.telemetry, suffix=f" [r{i}]")
+    return merged, replicas

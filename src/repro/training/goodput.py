@@ -151,6 +151,38 @@ class GoodputModel:
             telemetry=telemetry,
         )
 
+    def simulate_ensemble(
+        self,
+        tier: str = "nvme",
+        seed: int = 0,
+        n_replicas: int = 8,
+        n_jobs: int = 1,
+        work_seconds: float | None = None,
+    ) -> list[RestartStats]:
+        """A Monte-Carlo ensemble of empirical runs over child seeds.
+
+        Replica ``i`` always gets the ``i``-th ``SeedSequence`` child of
+        ``seed``, so the returned list is identical at every ``n_jobs`` —
+        fanning out over a process pool changes the wall-clock, never the
+        statistics. Averaging ``overhead_fraction`` across replicas tightens
+        the stochastic error bar around the Young/Daly expectation.
+        """
+        from repro.resilience.restart import restart_ensemble
+
+        plan = self.plan()
+        if work_seconds is None:
+            work_seconds = _EMPIRICAL_WORK_MTBF_MULTIPLE * plan.system_mtbf
+        return restart_ensemble(
+            work_seconds=work_seconds,
+            interval=self.optimal_interval(tier),
+            write_time=self.write_time(tier),
+            n_nodes=self.job.n_nodes,
+            node_mtbf_seconds=self.node_mtbf_seconds,
+            n_replicas=n_replicas,
+            seed=seed,
+            n_jobs=n_jobs,
+        )
+
     def report(
         self,
         name: str,

@@ -12,6 +12,8 @@ MODULES = [
     "repro.cost.kernels",
     "repro.cost.breakdown",
     "repro.cost.sweep",
+    "repro.exec.parallel",
+    "repro.exec.cache",
     "repro.ml.mlp",
     "repro.ml.surrogate",
     "repro.optim.sgd",
