@@ -71,9 +71,14 @@ def record(
         "smoke": bool(os.environ.get("REPRO_SMOKE")),
     }
     out_dir = Path(os.environ.get("REPRO_BENCH_DIR", "."))
-    out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"BENCH_{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    try:
+        from repro.atomicio import atomic_write_text
+    except ImportError:  # pragma: no cover - repro not importable
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 
 

@@ -1,0 +1,119 @@
+"""Campaign-service throughput: journal fsync cost and end-to-end job rate.
+
+Times three things against an in-process campaign server on a unix socket:
+
+- **journal append+fsync latency** — the per-transition durability price
+  the WAL contract charges (ISSUE: counted in ``journal.fsyncs``);
+- **end-to-end campaign throughput** — jobs/second through ingest → lease
+  → heartbeat → complete with one worker, fsync on;
+- **fsync-off throughput** — the same campaign with ``fsync=False``, which
+  brackets how much of the wall-clock the durability guarantee costs.
+
+All scalars land in ``BENCH_service.json``. ``REPRO_SMOKE=1`` shrinks the
+campaign for CI; the throughput floor is only enforced on the full run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from _record import record
+from conftest import report
+
+from repro.service import CampaignSpec, JobSpec, ServiceClient, run_worker, serve
+from repro.service.journal import Journal
+
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
+
+N_JOBS = 40 if SMOKE else 200
+N_APPENDS = 200 if SMOKE else 2000
+
+#: Full-run floor: a tiny-job campaign must clear this many jobs/second
+#: through the full lease/heartbeat/complete protocol (fsync on).
+MIN_JOBS_PER_SECOND = 20.0
+
+
+def _spec(n_jobs: int) -> CampaignSpec:
+    return CampaignSpec(
+        name="bench-service",
+        jobs=tuple(
+            JobSpec(f"j{i:05d}", "quadrature", {"n_samples": 16}, seed=i)
+            for i in range(n_jobs)
+        ),
+        lease_timeout_s=30.0,
+        heartbeat_interval_s=5.0,
+    )
+
+
+@contextlib.contextmanager
+def _server(spec: CampaignSpec, fsync: bool):
+    tmp = Path(tempfile.mkdtemp(prefix="rsvc-"))
+    os.environ["REPRO_CACHE_DIR"] = str(tmp / "cache")  # no cross-run hits
+    thread = threading.Thread(
+        target=serve, args=(spec, tmp / "journal", tmp / "s"),
+        kwargs=dict(fsync=fsync), daemon=True,
+    )
+    thread.start()
+    client = ServiceClient(tmp / "s", session="bench")
+    client.wait_ready(timeout_s=30.0)
+    try:
+        yield client
+    finally:
+        with contextlib.suppress(Exception):
+            client.drain()
+        thread.join(timeout=15)
+
+
+def _campaign_seconds(fsync: bool) -> float:
+    spec = _spec(N_JOBS)
+    with _server(spec, fsync=fsync) as client:
+        t0 = time.perf_counter()
+        run_worker(str(client.socket_path), session="bench-w", max_jobs=8)
+        client.wait_finished(timeout_s=120.0)
+        return time.perf_counter() - t0
+
+
+def test_service_throughput_and_fsync_cost(tmp_path):
+    # -- raw WAL append+fsync latency ------------------------------------------
+    journal = Journal(tmp_path / "wal")
+    t0 = time.perf_counter()
+    for i in range(N_APPENDS):
+        journal.append_commit("tick", i=i)
+    fsync_total = time.perf_counter() - t0
+    journal.close()
+    append_ms = 1e3 * fsync_total / N_APPENDS
+
+    # -- end-to-end campaign, durable vs not -----------------------------------
+    durable_s = _campaign_seconds(fsync=True)
+    fast_s = _campaign_seconds(fsync=False)
+    jobs_per_s = N_JOBS / durable_s
+
+    record("service", {
+        "n_jobs": N_JOBS,
+        "journal_append_fsync_ms": append_ms,
+        "campaign_seconds_fsync": durable_s,
+        "campaign_seconds_no_fsync": fast_s,
+        "jobs_per_second": jobs_per_s,
+        "fsync_overhead_ratio": durable_s / fast_s,
+    }, wall_seconds=fsync_total + durable_s + fast_s)
+
+    report(
+        "Campaign service — durability cost "
+        f"({N_JOBS} jobs, {N_APPENDS} WAL appends)",
+        [
+            ("WAL append+fsync", f"{append_ms:.3f} ms"),
+            ("campaign (fsync on)", f"{durable_s:.2f} s"),
+            ("campaign (fsync off)", f"{fast_s:.2f} s"),
+            ("throughput", f"{jobs_per_s:.1f} jobs/s"),
+        ],
+        header=("measurement", "value"),
+    )
+
+    assert jobs_per_s > 0
+    if not SMOKE:
+        assert jobs_per_s >= MIN_JOBS_PER_SECOND

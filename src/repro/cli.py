@@ -20,7 +20,15 @@ Commands mirror the paper's strands:
 - ``verify``    — run the paper-parity conformance battery: the full
   expectation registry (every paper-stated number), cross-path
   differential runners and structural invariant audits, with a
-  deterministic JSON report for CI (same seed, byte-identical bytes).
+  deterministic JSON report for CI (same seed, byte-identical bytes);
+- ``serve``     — run the crash-safe campaign server over a declarative
+  campaign spec: bulk ingestion, time-bounded leases with heartbeats,
+  write-ahead journal, backpressure, graceful drain;
+- ``submit``    — bulk-ingest a campaign spec's jobs into a running server;
+- ``campaign-status`` — query a running server (counts, attempts,
+  requeues, metrics; ``--results`` dumps the completed result set);
+- ``work``      — run a worker loop (acquire leases, heartbeat, compute,
+  complete) against a running server.
 
 ``resilience``, ``sweep``, ``telemetry`` and ``verify`` accept ``--json``
 for machine-readable output, and all four accept ``--jobs N`` to fan work
@@ -28,6 +36,9 @@ out over a process pool — results are bit-identical at every worker count.
 ``sweep`` caches results content-addressed under ``.repro-cache/``
 (``--no-cache`` disables); ``telemetry`` and ``resilience`` accept
 ``--replicas N`` for seeded Monte-Carlo ensembles.
+
+Library errors exit with distinct nonzero codes (see ``EXIT_CODES``) and a
+one-line ``error:`` message on stderr — never a traceback.
 """
 
 from __future__ import annotations
@@ -35,7 +46,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import units
+from repro import errors, units
 from repro.core import ScalingStudyRunner, SummitSimulator, UsageSurvey
 from repro.models.catalog import CATALOG
 from repro.training.parallelism import DataSource, ParallelismPlan
@@ -355,15 +366,103 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     )
     output = report.to_json() if args.json else report.format() + "\n"
     if args.out:
-        from pathlib import Path
+        from repro.atomicio import atomic_write_text
 
-        Path(args.out).write_text(output)
+        atomic_write_text(args.out, output)
         if not args.json:
             print(output, end="")
         print(f"report written to {args.out}")
     else:
         print(output, end="")
     return 0 if report.passed else 1
+
+
+def _load_spec(args: argparse.Namespace):
+    from repro.service import CampaignSpec, drug_campaign
+
+    if args.spec:
+        return CampaignSpec.from_file(args.spec)
+    if args.drug:
+        return drug_campaign(args.drug, seed=args.seed)
+    raise errors.ConfigurationError(
+        "provide --spec CAMPAIGN.json or --drug N"
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    spec = _load_spec(args)
+    print(f"serving campaign {spec.name!r}: {len(spec.jobs)} jobs, "
+          f"lease {spec.lease_timeout_s:g}s, "
+          f"journal {args.journal}, socket {args.socket}", flush=True)
+    serve(
+        spec, args.journal, args.socket,
+        fsync=not args.no_fsync,
+        sweep_interval_s=args.sweep_interval,
+    )
+    print("campaign server drained cleanly")
+    return 0
+
+
+def _service_client(args: argparse.Namespace):
+    """CLI-facing client: retry patience is bounded by ``--timeout`` so a
+    wrong socket path fails fast with a typed error, not a 30s stall."""
+    from repro.resilience.retry import RetryPolicy
+    from repro.service import ServiceClient
+
+    policy = RetryPolicy(
+        max_attempts=8, backoff_base=0.05, backoff_factor=2.0,
+        backoff_max=1.0, jitter_fraction=0.0, deadline_s=args.timeout,
+    )
+    return ServiceClient(args.socket, timeout_s=args.timeout, policy=policy)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    spec = _load_spec(args)
+    client = _service_client(args)
+    response = client.submit_spec(spec)
+    print(f"campaign {spec.name!r}: {response['ingested']} jobs ingested, "
+          f"{response['known']} already known")
+    return 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    import json
+
+    client = _service_client(args)
+    status = client.status()
+    if args.results:
+        status["results"] = client.results()
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    counts = status["counts"]
+    print(f"campaign {status['campaign']!r} "
+          f"({'recovered' if status['recovered'] else 'fresh'} journal)")
+    print(f"  jobs: {status['n_jobs']}  pending {counts['pending']}  "
+          f"leased {counts['leased']}  done {counts['done']}  "
+          f"failed {counts['failed']}")
+    print(f"  attempts {status['total_attempts']}  "
+          f"requeues {status['total_requeues']}  "
+          f"finished {status['finished']}")
+    if status["failed_jobs"]:
+        print(f"  failed: {', '.join(status['failed_jobs'])}")
+    if args.results:
+        for job_id, result in status["results"].items():
+            print(f"  {job_id}: {json.dumps(result, sort_keys=True)}")
+    return 0
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    from repro.service.worker import run_worker
+
+    completed = run_worker(
+        args.socket, session=args.session, max_jobs=args.max_jobs,
+        idle_exit_s=args.idle_exit_s,
+    )
+    print(f"worker {args.session or '(anon)'}: {completed} jobs completed")
+    return 0
 
 
 def _cmd_gordon_bell(args: argparse.Namespace) -> int:
@@ -520,6 +619,69 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit scenario results + metrics as JSON")
     p.set_defaults(fn=_cmd_telemetry)
 
+    def add_spec_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--spec", default=None, metavar="CAMPAIGN.json",
+                       help="declarative campaign spec file")
+        p.add_argument("--drug", type=int, default=0, metavar="N",
+                       help="instead of --spec: a Section V drug-discovery "
+                            "campaign of N docking jobs")
+        p.add_argument("--seed", type=int, default=2022,
+                       help="seed for --drug campaign generation")
+
+    p = sub.add_parser(
+        "serve",
+        help="run the crash-safe campaign server (WAL + leases)",
+    )
+    add_spec_args(p)
+    p.add_argument("--journal", required=True, metavar="DIR",
+                   help="write-ahead journal directory; restart with the "
+                        "same directory to resume after a crash")
+    p.add_argument("--socket", required=True, metavar="PATH",
+                   help="unix socket to listen on")
+    p.add_argument("--sweep-interval", type=float, default=None,
+                   metavar="SECONDS",
+                   help="lease-expiry sweep period (default: half the "
+                        "spec's heartbeat interval)")
+    p.add_argument("--no-fsync", action="store_true",
+                   help="skip journal fsyncs (faster, NOT crash-safe; "
+                        "tests only)")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="bulk-ingest a campaign spec into a running server",
+    )
+    add_spec_args(p)
+    p.add_argument("--socket", required=True, metavar="PATH")
+    p.add_argument("--timeout", type=float, default=10.0,
+                   help="per-request timeout in seconds")
+    p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser(
+        "campaign-status",
+        help="query a running campaign server",
+    )
+    p.add_argument("--socket", required=True, metavar="PATH")
+    p.add_argument("--timeout", type=float, default=10.0)
+    p.add_argument("--results", action="store_true",
+                   help="also fetch the completed result set")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(fn=_cmd_campaign_status)
+
+    p = sub.add_parser(
+        "work",
+        help="run a worker loop against a running campaign server",
+    )
+    p.add_argument("--socket", required=True, metavar="PATH")
+    p.add_argument("--session", default=None,
+                   help="session id (default: random)")
+    p.add_argument("--max-jobs", type=int, default=1,
+                   help="leases to acquire per round-trip")
+    p.add_argument("--idle-exit-s", type=float, default=None,
+                   help="exit after this long with no work (default: "
+                        "wait for the campaign to finish)")
+    p.set_defaults(fn=_cmd_work)
+
     p = sub.add_parser(
         "verify",
         help="run the paper-parity conformance battery (exit 1 on failure)",
@@ -544,9 +706,39 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Library errors exit with a distinct, stable code per class — scripts and
+#: the chaos harness branch on them instead of parsing tracebacks. Lookup
+#: walks the MRO, so a subclass without its own entry inherits its parent's.
+EXIT_CODES: dict[type, int] = {
+    errors.ConfigurationError: 3,
+    errors.CapacityError: 4,
+    errors.SimulationError: 5,
+    errors.ConvergenceError: 6,
+    errors.TaxonomyError: 7,
+    errors.ServiceError: 8,
+    errors.Saturated: 9,
+    errors.LeaseExpired: 10,
+    errors.JournalCorrupt: 11,
+    errors.ProtocolError: 12,
+    errors.ReproError: 64,
+}
+
+
+def exit_code_for(exc: errors.ReproError) -> int:
+    """Most-derived EXIT_CODES entry for ``exc``'s class."""
+    for cls in type(exc).__mro__:
+        if cls in EXIT_CODES:
+            return EXIT_CODES[cls]
+    return 64  # pragma: no cover - ReproError is always in the MRO
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except errors.ReproError as exc:
+        print(f"error: [{type(exc).__name__}] {exc}", file=sys.stderr)
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":

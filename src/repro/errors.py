@@ -30,3 +30,25 @@ class ConvergenceError(ReproError):
 
 class TaxonomyError(ReproError, KeyError):
     """An unknown motif, domain, program, or other taxonomy label was used."""
+
+
+class ServiceError(ReproError):
+    """Base class for campaign-service failures (server, client, protocol)."""
+
+
+class Saturated(ServiceError):
+    """The service shed load: a bounded queue was full and the request was
+    rejected rather than buffered without bound. Clients should back off and
+    retry under their :class:`~repro.resilience.retry.RetryPolicy`."""
+
+
+class LeaseExpired(ServiceError):
+    """A session acted on a lease it no longer holds (expired or requeued)."""
+
+
+class JournalCorrupt(ServiceError):
+    """The write-ahead journal is damaged beyond the tolerated torn tail."""
+
+
+class ProtocolError(ServiceError):
+    """A malformed request or response crossed the service wire protocol."""

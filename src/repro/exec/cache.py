@@ -174,12 +174,12 @@ class ResultCache:
         """Persist ``value`` under ``key`` (atomic rename; no-op if disabled)."""
         if not self.enabled:
             return None
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_bytes(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
-        tmp.replace(path)
-        return path
+        from repro.atomicio import atomic_write_bytes
+
+        return atomic_write_bytes(
+            self.path_for(key),
+            pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL),
+        )
 
     # -- the one entry point callers use ------------------------------------------
 

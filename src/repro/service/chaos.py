@@ -1,0 +1,403 @@
+"""Deterministic chaos harness for the campaign service.
+
+SAIH's point (PAPERS.md) cuts both ways: evaluation machinery must itself
+be trustworthy. So fault injection here is **seeded and replayable** — a
+:class:`ChaosPlan` derived from a seed always kills the same workers after
+the same completion counts, SIGKILLs the server at the same campaign
+progress thresholds, and tears the same journal tails. Tests assert plan
+determinism (same seed → same schedule) and recovery determinism (the
+surviving campaign's result set is byte-identical to an uninterrupted run).
+
+Fault repertoire:
+
+- **worker kill** — ``os._exit`` while holding a lease, before the
+  ``complete`` is sent (exercises lease expiry + requeue);
+- **dropped heartbeats** — the worker computes without heartbeating, so its
+  lease expires mid-flight and its late completion must be rejected
+  (exercises :class:`~repro.errors.LeaseExpired` double-completion guard);
+- **server SIGKILL** — no cleanup, no flush; recovery is journal replay
+  (exercises the WAL durability contract);
+- **torn journal tail** — garbage appended to the last segment after a
+  kill, simulating a write torn by the crash (exercises replay's
+  discard-don't-die tolerance);
+- **slow / failing handlers** — ``chaos:sleep`` and ``chaos:flaky`` jobs
+  injected at spec level (exercise heartbeats and attempt accounting).
+
+:func:`run_chaos_campaign` is the orchestrator the crash tests and the CI
+chaos job drive: real subprocesses, real SIGKILLs, real sockets.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.atomicio import atomic_write_text
+from repro.errors import ConfigurationError, ServiceError
+
+from repro.service.client import ServiceClient
+from repro.service.handlers import run_job
+from repro.service.journal import segment_paths
+from repro.service.spec import CampaignSpec, JobSpec
+
+__all__ = [
+    "ChaosOutcome",
+    "ChaosPlan",
+    "WorkerChaos",
+    "chaos_campaign",
+    "expected_results",
+    "run_chaos_campaign",
+    "tear_journal_tail",
+]
+
+
+@dataclass(frozen=True)
+class WorkerChaos:
+    """One worker's deterministic fault schedule (by completion count)."""
+
+    kill_at: tuple[int, ...] = ()
+    drop_heartbeats_at: tuple[int, ...] = ()
+
+    def kill_before_complete(self, n_completed: int) -> bool:
+        return n_completed in self.kill_at
+
+    def drop_heartbeats(self, n_completed: int) -> bool:
+        return n_completed in self.drop_heartbeats_at
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """The full, seed-derived fault schedule for one campaign run."""
+
+    seed: int
+    n_workers: int
+    workers: tuple[WorkerChaos, ...]
+    #: SIGKILL the server when this many jobs are done (ascending).
+    server_kill_after_done: tuple[int, ...] = ()
+    #: After each server kill, tear the journal tail? (parallel list)
+    tear_tail_after_kill: tuple[bool, ...] = ()
+
+    @classmethod
+    def from_seed(
+        cls,
+        seed: int,
+        n_workers: int = 2,
+        n_jobs: int = 24,
+        server_kills: int = 1,
+        worker_kill_probability: float = 0.5,
+    ) -> "ChaosPlan":
+        """Derive a schedule deterministically — same seed, same plan.
+
+        >>> ChaosPlan.from_seed(7) == ChaosPlan.from_seed(7)
+        True
+        >>> ChaosPlan.from_seed(7) == ChaosPlan.from_seed(8)
+        False
+        """
+        if n_workers < 1 or n_jobs < 4:
+            raise ConfigurationError("need >= 1 worker and >= 4 jobs")
+        rng = random.Random(seed)
+        workers = []
+        for _ in range(n_workers):
+            kill_at: tuple[int, ...] = ()
+            drop_at: tuple[int, ...] = ()
+            if rng.random() < worker_kill_probability:
+                kill_at = (rng.randrange(1, max(2, n_jobs // n_workers)),)
+            if rng.random() < 0.5:
+                drop_at = (rng.randrange(0, max(1, n_jobs // n_workers)),)
+            workers.append(WorkerChaos(kill_at=kill_at,
+                                       drop_heartbeats_at=drop_at))
+        lo, hi = max(1, n_jobs // 4), max(2, (3 * n_jobs) // 4)
+        kills = tuple(sorted(rng.randrange(lo, hi)
+                             for _ in range(server_kills)))
+        tears = tuple(rng.random() < 0.5 for _ in kills)
+        return cls(
+            seed=seed, n_workers=n_workers, workers=tuple(workers),
+            server_kill_after_done=kills, tear_tail_after_kill=tears,
+        )
+
+    def worker(self, index: int) -> WorkerChaos:
+        return self.workers[index % len(self.workers)]
+
+    # -- JSON round-trip (workers read the plan from a file) -----------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ChaosPlan":
+        return cls(
+            seed=int(data["seed"]),
+            n_workers=int(data["n_workers"]),
+            workers=tuple(
+                WorkerChaos(
+                    kill_at=tuple(w.get("kill_at", ())),
+                    drop_heartbeats_at=tuple(w.get("drop_heartbeats_at", ())),
+                )
+                for w in data["workers"]
+            ),
+            server_kill_after_done=tuple(
+                data.get("server_kill_after_done", ())
+            ),
+            tear_tail_after_kill=tuple(data.get("tear_tail_after_kill", ())),
+        )
+
+    def to_file(self, path: str | Path) -> Path:
+        return atomic_write_text(
+            path, json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ChaosPlan":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def chaos_campaign(
+    n_jobs: int = 24,
+    seed: int = 0,
+    slow_every: int = 6,
+    name: str = "chaos-campaign",
+    **overrides: Any,
+) -> CampaignSpec:
+    """A campaign mixing fast deterministic jobs with slow lease-holders.
+
+    Every handler here is a pure function of (params, seed) — no
+    ``chaos:flaky`` — so :func:`expected_results` predicts the exact final
+    result set regardless of how many faults interrupt the run.
+    """
+    jobs = []
+    for i in range(n_jobs):
+        if slow_every and i % slow_every == slow_every - 1:
+            jobs.append(JobSpec(
+                job_id=f"job-{i:04d}", handler="chaos:sleep",
+                params={"seconds": 0.15}, seed=seed + i,
+            ))
+        else:
+            jobs.append(JobSpec(
+                job_id=f"job-{i:04d}", handler="quadrature",
+                params={"n_samples": 512}, seed=seed + i,
+            ))
+    overrides.setdefault("lease_timeout_s", 1.5)
+    overrides.setdefault("heartbeat_interval_s", 0.2)
+    overrides.setdefault("max_attempts", 6)
+    overrides.setdefault("backoff_base_s", 0.02)
+    overrides.setdefault("backoff_max_s", 0.2)
+    return CampaignSpec(name=name, jobs=tuple(jobs), **overrides)
+
+
+def expected_results(spec: CampaignSpec) -> dict[str, Any]:
+    """The ground-truth result set: every handler run in-process, in order.
+
+    Only valid for specs whose handlers are attempt-independent (no
+    ``chaos:flaky``); crash tests byte-compare the service's final result
+    set against this.
+    """
+    out: dict[str, Any] = {}
+    for job in spec.jobs:
+        params = dict(job.params)
+        if job.handler == "chaos:flaky":
+            raise ConfigurationError(
+                "chaos:flaky results depend on retry history; "
+                "expected_results cannot predict them"
+            )
+        out[job.job_id] = run_job(job.handler, params, job.seed)
+    return out
+
+
+def tear_journal_tail(
+    journal_dir: str | Path, garbage: bytes = b'{"seq":1e9,"type":"lea'
+) -> Path | None:
+    """Simulate a write torn by the crash: partial JSON, no newline, at the
+    tail of the last segment. Replay must discard it, not die."""
+    segments = segment_paths(journal_dir)
+    if not segments:
+        return None
+    with open(segments[-1], "ab") as fh:
+        fh.write(garbage)
+    return segments[-1]
+
+
+# -- the orchestrator -----------------------------------------------------------
+
+
+@dataclass
+class ChaosOutcome:
+    """What a chaos run did and what survived."""
+
+    results: dict[str, Any]
+    status: dict[str, Any]
+    server_kills: int = 0
+    worker_kills: int = 0
+    tails_torn: int = 0
+    workers_replaced: int = 0
+    log_paths: list[str] = field(default_factory=list)
+
+    @property
+    def results_json(self) -> str:
+        """Canonical encoding, for byte-identity comparisons."""
+        return json.dumps(self.results, sort_keys=True,
+                          separators=(",", ":"))
+
+
+def _python_env() -> dict[str, str]:
+    """Child env able to import repro from this checkout."""
+    import repro
+
+    env = dict(os.environ)
+    pkg_parent = str(Path(repro.__file__).resolve().parents[1])
+    existing = env.get("PYTHONPATH", "")
+    if pkg_parent not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            f"{pkg_parent}{os.pathsep}{existing}" if existing else pkg_parent
+        )
+    return env
+
+
+def _short_socket_path() -> Path:
+    # AF_UNIX paths are length-capped (~107 bytes); pytest tmp dirs can
+    # blow past that, so sockets live in their own short tempdir.
+    return Path(tempfile.mkdtemp(prefix="rsvc-")) / "s"
+
+
+class _Procs:
+    """Server + worker subprocess management for one chaos run."""
+
+    def __init__(self, workdir: Path, socket_path: Path, env: dict[str, str]):
+        self.workdir = workdir
+        self.socket_path = socket_path
+        self.env = env
+        self.server: subprocess.Popen | None = None
+        self.workers: dict[str, subprocess.Popen] = {}
+        self.logs: list[Path] = []
+
+    def _spawn(self, args: list[str], log_name: str) -> subprocess.Popen:
+        log = self.workdir / log_name
+        self.logs.append(log)
+        with open(log, "ab") as fh:
+            return subprocess.Popen(
+                [sys.executable, "-m", *args],
+                stdout=fh, stderr=subprocess.STDOUT, env=self.env,
+                cwd=str(self.workdir),
+            )
+
+    def start_server(self, spec_path: Path, journal_dir: Path) -> None:
+        self.server = self._spawn(
+            ["repro.cli", "serve", "--spec", str(spec_path),
+             "--journal", str(journal_dir),
+             "--socket", str(self.socket_path),
+             "--sweep-interval", "0.05"],
+            "server.log",
+        )
+
+    def kill_server(self) -> None:
+        if self.server is not None and self.server.poll() is None:
+            self.server.send_signal(signal.SIGKILL)
+            self.server.wait(timeout=10)
+
+    def start_worker(self, session: str, plan_path: Path | None,
+                     index: int) -> None:
+        args = ["repro.service.worker", str(self.socket_path),
+                "--session", session, "--idle-exit-s", "20"]
+        if plan_path is not None:
+            args += ["--chaos-plan", str(plan_path),
+                     "--chaos-worker", str(index)]
+        self.workers[session] = self._spawn(args, f"{session}.log")
+
+    def reap(self) -> None:
+        for proc in [self.server, *self.workers.values()]:
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+def run_chaos_campaign(
+    spec: CampaignSpec,
+    plan: ChaosPlan,
+    workdir: str | Path,
+    deadline_s: float = 90.0,
+) -> ChaosOutcome:
+    """Drive ``spec`` through real subprocesses under ``plan``'s faults.
+
+    Starts one server and ``plan.n_workers`` chaos-wrapped workers, then
+    supervises: SIGKILLs the server at each planned completion threshold
+    (optionally tearing the journal tail) and restarts it against the same
+    journal; replaces killed workers with clean ones. Returns once every
+    job is DONE or FAILED, with the final result set fetched from the
+    recovered server.
+    """
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    journal_dir = workdir / "journal"
+    spec_path = workdir / "campaign.json"
+    atomic_write_text(spec_path, spec.to_json())
+    plan_path = workdir / "chaos-plan.json"
+    plan.to_file(plan_path)
+    socket_path = _short_socket_path()
+
+    procs = _Procs(workdir, socket_path, _python_env())
+    outcome = ChaosOutcome(results={}, status={})
+    client = ServiceClient(socket_path, session="chaos-supervisor")
+    kills_pending = list(plan.server_kill_after_done)
+    tears_pending = list(plan.tear_tail_after_kill)
+    deadline = time.time() + deadline_s
+    try:
+        procs.start_server(spec_path, journal_dir)
+        client.wait_ready(timeout_s=30.0)
+        for i in range(plan.n_workers):
+            procs.start_worker(f"chaos-w{i}", plan_path, i)
+        while True:
+            if time.time() > deadline:
+                raise ServiceError(
+                    f"chaos campaign exceeded {deadline_s:.0f}s deadline "
+                    f"(status: {outcome.status.get('counts')})"
+                )
+            try:
+                status = client.status()
+            except (ServiceError, OSError):
+                time.sleep(0.05)
+                continue
+            outcome.status = status
+            done = status["counts"]["done"] + status["counts"]["failed"]
+            if kills_pending and done >= kills_pending[0]:
+                kills_pending.pop(0)
+                procs.kill_server()
+                outcome.server_kills += 1
+                if tears_pending.pop(0):
+                    if tear_journal_tail(journal_dir) is not None:
+                        outcome.tails_torn += 1
+                procs.start_server(spec_path, journal_dir)
+                client.wait_ready(timeout_s=30.0)
+            # Replace chaos-killed workers with clean ones so planned
+            # worker deaths cannot stall the campaign.
+            for session, proc in list(procs.workers.items()):
+                code = proc.poll()
+                if code == 137:
+                    outcome.worker_kills += 1
+                    del procs.workers[session]
+                    replacement = f"{session}-r{outcome.workers_replaced}"
+                    procs.start_worker(replacement, None, 0)
+                    outcome.workers_replaced += 1
+                elif code not in (None, 0):
+                    raise ServiceError(
+                        f"worker {session} exited with code {code}; "
+                        f"see {workdir / (session + '.log')}"
+                    )
+            if status["finished"]:
+                break
+            time.sleep(0.05)
+        outcome.results = client.results()
+        client.drain()
+        if procs.server is not None:
+            procs.server.wait(timeout=15)
+    finally:
+        procs.reap()
+        outcome.log_paths = [str(p) for p in procs.logs]
+    return outcome

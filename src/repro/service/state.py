@@ -1,0 +1,249 @@
+"""The campaign state machine — one mutation path for live serving *and*
+journal replay.
+
+:class:`CampaignState` is deliberately pure: no clock (every transition
+takes an explicit ``now``), no I/O, no randomness. The server applies each
+journaled record to it as the record is written; recovery applies the same
+records in the same order from disk. Because there is exactly one mutation
+path, "replayed state" and "live state" cannot drift — the crash-recovery
+guarantee reduces to the journal's durability contract.
+
+Job lifecycle::
+
+    PENDING --lease--> LEASED --complete--> DONE
+       ^                  |
+       |               requeue (lease expired / handler failed,
+       +------------------+  attempts remaining; backoff via RetryPolicy)
+                          |
+                        fail (attempts exhausted)  --> FAILED
+
+Guards raise the typed errors callers need to map to wire responses: a
+``complete`` from a session whose lease has been requeued raises
+:class:`~repro.errors.LeaseExpired` (the job may already be running
+elsewhere — acknowledging it would risk double-completion), and a second
+``complete`` for a DONE job is reported as a duplicate, never re-applied,
+so no job is ever counted twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigurationError, LeaseExpired, ServiceError
+from repro.resilience.retry import RetryPolicy
+
+from repro.service.spec import CampaignSpec, JobSpec
+
+__all__ = ["CampaignState", "JobRecord", "PENDING", "LEASED", "DONE", "FAILED"]
+
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+FAILED = "failed"
+
+
+@dataclass
+class JobRecord:
+    """One job's current position in the lifecycle, with attempt accounting."""
+
+    spec: JobSpec
+    state: str = PENDING
+    attempts: int = 0          # executions started (leases granted)
+    requeues: int = 0
+    session_id: str | None = None
+    lease_deadline: float | None = None
+    not_before: float = 0.0    # requeue backoff: ineligible until this time
+    result: Any = None
+    error: str | None = None
+    completed_by: str | None = None
+
+
+class CampaignState:
+    """In-memory truth for one campaign (see the module docstring)."""
+
+    def __init__(self, spec: CampaignSpec):
+        self.spec = spec
+        self.policy: RetryPolicy = spec.retry_policy()
+        self.jobs: dict[str, JobRecord] = {}
+        self._order: list[str] = []  # ingest order; scan order for leasing
+
+    # -- derived views -------------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        out = {PENDING: 0, LEASED: 0, DONE: 0, FAILED: 0}
+        for job in self.jobs.values():
+            out[job.state] += 1
+        return out
+
+    @property
+    def in_flight(self) -> int:
+        """Jobs the server is still responsible for (bounded by backpressure)."""
+        counts = self.counts()
+        return counts[PENDING] + counts[LEASED]
+
+    @property
+    def finished(self) -> bool:
+        return self.in_flight == 0 and bool(self.jobs)
+
+    def results(self) -> dict[str, Any]:
+        """``job_id -> result`` for every DONE job, in ingest order."""
+        return {
+            job_id: self.jobs[job_id].result
+            for job_id in self._order
+            if self.jobs[job_id].state == DONE
+        }
+
+    def leasable(self, now: float, limit: int) -> list[str]:
+        """Up to ``limit`` PENDING job ids eligible at ``now`` (FIFO order)."""
+        out: list[str] = []
+        for job_id in self._order:
+            if len(out) >= limit:
+                break
+            job = self.jobs[job_id]
+            if job.state == PENDING and job.not_before <= now:
+                out.append(job_id)
+        return out
+
+    def expired_leases(self, now: float) -> list[str]:
+        """Leased job ids whose deadline has passed — sweeper fodder."""
+        return [
+            job_id for job_id in self._order
+            if self.jobs[job_id].state == LEASED
+            and self.jobs[job_id].lease_deadline is not None
+            and self.jobs[job_id].lease_deadline < now
+        ]
+
+    # -- the one mutation path -----------------------------------------------------
+
+    def apply(self, record: dict[str, Any]) -> None:
+        """Apply one journal record; raises (mutation-free) on a bad transition."""
+        handler = getattr(self, f"_apply_{record['type']}", None)
+        if handler is None:
+            raise ConfigurationError(
+                f"unknown journal record type {record['type']!r}"
+            )
+        handler(record)
+
+    def _job(self, job_id: str) -> JobRecord:
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise ServiceError(f"unknown job {job_id!r}") from None
+
+    def _apply_campaign(self, record: dict[str, Any]) -> None:
+        spec = CampaignSpec.from_dict(record["spec"])
+        if self.jobs and spec.name != self.spec.name:
+            raise ServiceError(
+                f"journal belongs to campaign {spec.name!r}, "
+                f"not {self.spec.name!r}"
+            )
+        self.spec = spec
+        self.policy = spec.retry_policy()
+
+    def _apply_ingest(self, record: dict[str, Any]) -> None:
+        specs = [JobSpec.from_dict(j) for j in record["jobs"]]
+        dup = [j.job_id for j in specs if j.job_id in self.jobs]
+        if dup:
+            raise ServiceError(f"jobs already ingested: {dup}")
+        for spec in specs:
+            self.jobs[spec.job_id] = JobRecord(spec=spec)
+            self._order.append(spec.job_id)
+
+    def _apply_lease(self, record: dict[str, Any]) -> None:
+        session, deadline = record["session"], record["deadline"]
+        jobs = [self._job(job_id) for job_id in record["jobs"]]
+        for job in jobs:
+            if job.state != PENDING:
+                raise ServiceError(
+                    f"job {job.spec.job_id!r} is {job.state}, not leasable"
+                )
+        for job in jobs:
+            job.state = LEASED
+            job.attempts += 1
+            job.session_id = session
+            job.lease_deadline = deadline
+
+    def _apply_heartbeat(self, record: dict[str, Any]) -> None:
+        session, deadline = record["session"], record["deadline"]
+        for job_id in record["jobs"]:
+            job = self._job(job_id)
+            if job.state != LEASED or job.session_id != session:
+                raise LeaseExpired(
+                    f"session {session!r} no longer holds job {job_id!r} "
+                    f"(state {job.state}, holder {job.session_id!r})"
+                )
+        for job_id in record["jobs"]:
+            self.jobs[job_id].lease_deadline = deadline
+
+    def _apply_complete(self, record: dict[str, Any]) -> None:
+        job = self._job(record["job_id"])
+        session = record["session"]
+        if job.state == DONE:
+            raise ServiceError(
+                f"job {job.spec.job_id!r} already completed "
+                f"by {job.completed_by!r}"
+            )
+        if job.state != LEASED or job.session_id != session:
+            raise LeaseExpired(
+                f"session {session!r} no longer holds job "
+                f"{job.spec.job_id!r} (state {job.state}, "
+                f"holder {job.session_id!r}); completion rejected"
+            )
+        job.state = DONE
+        job.result = record["result"]
+        job.completed_by = session
+        job.session_id = None
+        job.lease_deadline = None
+        job.error = None
+
+    def _apply_cached(self, record: dict[str, Any]) -> None:
+        """PENDING -> DONE without a lease: the shared result cache already
+        holds this job's content-keyed result (the memoization tier)."""
+        job = self._job(record["job_id"])
+        if job.state != PENDING:
+            raise ServiceError(
+                f"job {job.spec.job_id!r} is {job.state}, "
+                "not cache-completable"
+            )
+        job.state = DONE
+        job.result = record["result"]
+        job.completed_by = "cache"
+
+    def _apply_requeue(self, record: dict[str, Any]) -> None:
+        job = self._job(record["job_id"])
+        if job.state != LEASED:
+            raise ServiceError(
+                f"job {job.spec.job_id!r} is {job.state}, not requeueable"
+            )
+        job.state = PENDING
+        job.requeues += 1
+        job.session_id = None
+        job.lease_deadline = None
+        job.not_before = record.get("not_before", 0.0)
+        job.error = record.get("reason")
+
+    def _apply_fail(self, record: dict[str, Any]) -> None:
+        job = self._job(record["job_id"])
+        if job.state not in (LEASED, PENDING):
+            raise ServiceError(
+                f"job {job.spec.job_id!r} is {job.state}, cannot fail"
+            )
+        job.state = FAILED
+        job.session_id = None
+        job.lease_deadline = None
+        job.error = record.get("reason")
+
+    def _apply_drain(self, record: dict[str, Any]) -> None:
+        pass  # informational: a clean shutdown marker
+
+    # -- replay --------------------------------------------------------------------
+
+    @classmethod
+    def replay(cls, records: list[dict[str, Any]],
+               spec: CampaignSpec) -> "CampaignState":
+        """Rebuild state by applying ``records`` in order (see module docs)."""
+        state = cls(spec)
+        for record in records:
+            state.apply(record)
+        return state

@@ -129,10 +129,14 @@ def chrome_trace_json(telemetry: Telemetry) -> str:
 
 
 def write_chrome_trace(telemetry: Telemetry, path: str) -> None:
-    """Write a ``.trace.json`` loadable in Perfetto / chrome://tracing."""
-    with open(path, "w") as fh:
-        fh.write(chrome_trace_json(telemetry))
-        fh.write("\n")
+    """Write a ``.trace.json`` loadable in Perfetto / chrome://tracing.
+
+    Written atomically (tmp + rename) so an interrupted export never leaves
+    a torn, unparseable trace behind.
+    """
+    from repro.atomicio import atomic_write_text
+
+    atomic_write_text(path, chrome_trace_json(telemetry) + "\n")
 
 
 def to_jsonl(telemetry: Telemetry) -> str:

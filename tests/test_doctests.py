@@ -26,6 +26,11 @@ MODULES = [
     "repro.training.job",
     "repro.training.scaling",
     "repro.analysis.scaling_laws",
+    "repro.atomicio",
+    "repro.resilience.retry",
+    "repro.service.spec",
+    "repro.service.journal",
+    "repro.service.chaos",
     "repro.verify.expectations",
     "repro.verify.differential",
     "repro.verify.invariants",

@@ -151,6 +151,108 @@ class TestDagDeterminism:
         assert faulty.lost_seconds >= 0.0
 
 
+def _policy(max_attempts, base, factor, cap, jitter=0.0, deadline_s=None):
+    return RetryPolicy(
+        max_attempts=max_attempts, backoff_base=base, backoff_factor=factor,
+        backoff_max=cap, jitter_fraction=jitter, deadline_s=deadline_s,
+    )
+
+
+class TestRetryDelays:
+    """Property suites for ``RetryPolicy.delays()``: every yielded delay
+    respects the base/cap/jitter bounds, and a deadline bounds the
+    cumulative sleep (the campaign service's client backoff rides on
+    these guarantees)."""
+
+    @STANDARD_SETTINGS
+    @given(
+        max_attempts=st.integers(1, 12),
+        base=st.floats(0.01, 50.0),
+        factor=st.floats(1.0, 4.0),
+        cap=st.floats(0.01, 500.0),
+    )
+    def test_jitter_free_delays_match_formula_exactly(
+        self, max_attempts, base, factor, cap
+    ):
+        policy = _policy(max_attempts, base, factor, cap)
+        delays = list(policy.delays())
+        assert len(delays) == max_attempts - 1
+        for i, delay in enumerate(delays, start=1):
+            assert delay == min(base * factor ** (i - 1), cap)
+
+    @STANDARD_SETTINGS
+    @given(
+        max_attempts=st.integers(2, 12),
+        base=st.floats(0.01, 50.0),
+        factor=st.floats(1.0, 4.0),
+        cap=st.floats(0.01, 500.0),
+        jitter=st.floats(0.0, 0.99),
+        seed=st.integers(0, 2**31),
+    )
+    def test_jittered_delays_stay_within_relative_bounds(
+        self, max_attempts, base, factor, cap, jitter, seed
+    ):
+        import numpy as np
+
+        policy = _policy(max_attempts, base, factor, cap, jitter=jitter)
+        delays = list(policy.delays(np.random.default_rng(seed)))
+        assert len(delays) == max_attempts - 1
+        for i, delay in enumerate(delays, start=1):
+            nominal = min(base * factor ** (i - 1), cap)
+            assert nominal * (1.0 - jitter) <= delay
+            assert delay <= nominal * (1.0 + jitter)
+
+    @STANDARD_SETTINGS
+    @given(
+        max_attempts=st.integers(1, 12),
+        base=st.floats(0.01, 50.0),
+        factor=st.floats(1.0, 4.0),
+        cap=st.floats(0.01, 500.0),
+    )
+    def test_jitter_free_delays_monotone_nondecreasing(
+        self, max_attempts, base, factor, cap
+    ):
+        delays = list(_policy(max_attempts, base, factor, cap).delays())
+        assert all(a <= b for a, b in zip(delays, delays[1:]))
+
+    @STANDARD_SETTINGS
+    @given(
+        max_attempts=st.integers(1, 20),
+        base=st.floats(0.01, 50.0),
+        factor=st.floats(1.0, 4.0),
+        cap=st.floats(0.01, 500.0),
+        deadline=st.floats(0.01, 100.0),
+    )
+    def test_deadline_bounds_cumulative_sleep(
+        self, max_attempts, base, factor, cap, deadline
+    ):
+        policy = _policy(max_attempts, base, factor, cap,
+                         deadline_s=deadline)
+        delays = list(policy.delays())
+        assert sum(delays) <= deadline
+        assert len(delays) <= max_attempts - 1
+        # the deadline only ever *shortens* the schedule; the prefix that
+        # survives is identical to the unbounded policy's
+        unbounded = list(_policy(max_attempts, base, factor, cap).delays())
+        assert delays == unbounded[: len(delays)]
+
+    @STANDARD_SETTINGS
+    @given(
+        max_attempts=st.integers(1, 12),
+        deadline=st.floats(0.01, 100.0),
+        elapsed=st.floats(0.0, 200.0),
+    )
+    def test_exhausted_consistent_with_attempts_and_deadline(
+        self, max_attempts, deadline, elapsed
+    ):
+        policy = _policy(max_attempts, 1.0, 2.0, 8.0, deadline_s=deadline)
+        assert policy.exhausted(max_attempts)
+        if max_attempts > 1 and elapsed < deadline:
+            assert not policy.exhausted(max_attempts - 1, elapsed_s=elapsed)
+        if elapsed >= deadline:
+            assert policy.exhausted(0, elapsed_s=elapsed)
+
+
 def _sched_jobs():
     return [
         Job("wide", nodes=2048, duration=20000.0, submit_time=0.0),

@@ -1,0 +1,104 @@
+"""Chaos-harness determinism: same seed → same fault schedule → same
+recovery outcome (ISSUE.md acceptance criterion)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import (
+    ChaosPlan,
+    WorkerChaos,
+    chaos_campaign,
+    expected_results,
+    run_chaos_campaign,
+)
+from repro.service.chaos import tear_journal_tail
+
+
+class TestPlanDeterminism:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 1234, 2**31])
+    def test_same_seed_same_schedule(self, seed):
+        a = ChaosPlan.from_seed(seed, n_workers=3, n_jobs=24,
+                                server_kills=2)
+        b = ChaosPlan.from_seed(seed, n_workers=3, n_jobs=24,
+                                server_kills=2)
+        assert a == b
+        assert a.server_kill_after_done == b.server_kill_after_done
+        assert a.workers == b.workers
+
+    def test_different_seeds_differ(self):
+        plans = {ChaosPlan.from_seed(s) for s in range(20)}
+        assert len(plans) > 1
+
+    def test_kill_thresholds_sorted_and_bounded(self):
+        for seed in range(50):
+            plan = ChaosPlan.from_seed(seed, n_jobs=24, server_kills=3)
+            kills = plan.server_kill_after_done
+            assert list(kills) == sorted(kills)
+            assert all(1 <= k < 24 for k in kills)
+            assert len(plan.tear_tail_after_kill) == len(kills)
+
+    def test_file_round_trip(self, tmp_path):
+        plan = ChaosPlan.from_seed(99, n_workers=4, server_kills=2)
+        path = plan.to_file(tmp_path / "plan.json")
+        assert ChaosPlan.from_file(path) == plan
+
+    def test_worker_index_wraps(self):
+        plan = ChaosPlan.from_seed(5, n_workers=2)
+        assert plan.worker(0) == plan.worker(2)
+        assert plan.worker(1) == plan.worker(3)
+
+    def test_degenerate_plans_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChaosPlan.from_seed(0, n_workers=0)
+        with pytest.raises(ConfigurationError):
+            ChaosPlan.from_seed(0, n_jobs=2)
+
+
+class TestWorkerChaos:
+    def test_fires_only_at_planned_counts(self):
+        chaos = WorkerChaos(kill_at=(2,), drop_heartbeats_at=(0, 3))
+        assert [chaos.kill_before_complete(i) for i in range(4)] == \
+            [False, False, True, False]
+        assert [chaos.drop_heartbeats(i) for i in range(4)] == \
+            [True, False, False, True]
+
+
+class TestHelpers:
+    def test_expected_results_rejects_flaky(self):
+        from repro.service import CampaignSpec, JobSpec
+
+        spec = CampaignSpec(name="x", jobs=(
+            JobSpec("f", "chaos:flaky", {"fail_attempts": 1}),
+        ))
+        with pytest.raises(ConfigurationError, match="flaky"):
+            expected_results(spec)
+
+    def test_tear_tail_on_empty_journal_is_noop(self, tmp_path):
+        assert tear_journal_tail(tmp_path) is None
+
+
+@pytest.mark.slow
+def test_same_seed_same_recovery_outcome(tmp_path, monkeypatch):
+    """The full acceptance loop, twice: identical plans, identical faults,
+    byte-identical recovered result sets."""
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    spec = chaos_campaign(10, seed=17, slow_every=3)
+    ground_truth = json.dumps(expected_results(spec), sort_keys=True,
+                              separators=(",", ":"))
+    outcomes = []
+    for run in ("a", "b"):
+        plan = ChaosPlan.from_seed(11, n_workers=2, n_jobs=10,
+                                   server_kills=1)
+        outcomes.append(
+            run_chaos_campaign(spec, plan, tmp_path / run, deadline_s=90.0)
+        )
+    first, second = outcomes
+    # same fault schedule was injected...
+    assert first.server_kills == second.server_kills == 1
+    # ...and the recovery outcome is identical, down to the byte
+    assert first.results_json == second.results_json == ground_truth
+    for outcome in outcomes:
+        assert outcome.status["counts"]["done"] == 10
+        assert outcome.status["failed_jobs"] == []

@@ -1,0 +1,245 @@
+"""Tests for the campaign state machine — including the property suites for
+the lease/requeue lifecycle: no job is ever double-completed, attempt
+counts are monotone, and replayed state always equals live state."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import LeaseExpired, ServiceError
+from repro.service import CampaignSpec, CampaignState, JobSpec
+from repro.service.state import DONE, FAILED, LEASED, PENDING
+
+from .hypothesis_settings import STANDARD_SETTINGS
+
+
+def _spec(n_jobs=3, **overrides):
+    overrides.setdefault("max_attempts", 3)
+    jobs = tuple(
+        JobSpec(f"j{i}", "quadrature", {"n_samples": 8}, seed=i)
+        for i in range(n_jobs)
+    )
+    return CampaignSpec(name="t", jobs=jobs, **overrides)
+
+
+def _fresh(n_jobs=3, **overrides):
+    state = CampaignState(_spec(n_jobs, **overrides))
+    state.apply({
+        "type": "ingest",
+        "jobs": [j.to_dict() for j in state.spec.jobs],
+    })
+    return state
+
+
+class TestLifecycle:
+    def test_ingest_then_lease_then_complete(self):
+        state = _fresh(2)
+        assert state.counts()[PENDING] == 2
+        state.apply({"type": "lease", "session": "s", "jobs": ["j0"],
+                     "deadline": 10.0})
+        assert state.jobs["j0"].state == LEASED
+        assert state.jobs["j0"].attempts == 1
+        state.apply({"type": "complete", "session": "s", "job_id": "j0",
+                     "result": {"x": 1}})
+        assert state.jobs["j0"].state == DONE
+        assert state.results() == {"j0": {"x": 1}}
+        assert not state.finished  # j1 still pending
+
+    def test_duplicate_ingest_rejected(self):
+        state = _fresh(1)
+        with pytest.raises(ServiceError, match="already ingested"):
+            state.apply({"type": "ingest",
+                         "jobs": [state.spec.jobs[0].to_dict()]})
+
+    def test_lease_of_leased_job_rejected(self):
+        state = _fresh(1)
+        state.apply({"type": "lease", "session": "a", "jobs": ["j0"],
+                     "deadline": 10.0})
+        with pytest.raises(ServiceError, match="not leasable"):
+            state.apply({"type": "lease", "session": "b", "jobs": ["j0"],
+                         "deadline": 10.0})
+
+    def test_double_complete_rejected(self):
+        state = _fresh(1)
+        state.apply({"type": "lease", "session": "a", "jobs": ["j0"],
+                     "deadline": 10.0})
+        state.apply({"type": "complete", "session": "a", "job_id": "j0",
+                     "result": 1})
+        with pytest.raises(ServiceError, match="already completed"):
+            state.apply({"type": "complete", "session": "a",
+                         "job_id": "j0", "result": 2})
+        assert state.jobs["j0"].result == 1
+
+    def test_complete_after_requeue_is_lease_expired(self):
+        state = _fresh(1)
+        state.apply({"type": "lease", "session": "a", "jobs": ["j0"],
+                     "deadline": 1.0})
+        state.apply({"type": "requeue", "job_id": "j0", "reason": "expired",
+                     "not_before": 0.0})
+        with pytest.raises(LeaseExpired):
+            state.apply({"type": "complete", "session": "a",
+                         "job_id": "j0", "result": 1})
+        assert state.jobs["j0"].state == PENDING
+
+    def test_complete_by_other_session_is_lease_expired(self):
+        state = _fresh(1)
+        state.apply({"type": "lease", "session": "a", "jobs": ["j0"],
+                     "deadline": 10.0})
+        with pytest.raises(LeaseExpired):
+            state.apply({"type": "complete", "session": "b",
+                         "job_id": "j0", "result": 1})
+
+    def test_heartbeat_extends_deadline_for_holder_only(self):
+        state = _fresh(1)
+        state.apply({"type": "lease", "session": "a", "jobs": ["j0"],
+                     "deadline": 5.0})
+        state.apply({"type": "heartbeat", "session": "a", "jobs": ["j0"],
+                     "deadline": 9.0})
+        assert state.jobs["j0"].lease_deadline == 9.0
+        with pytest.raises(LeaseExpired):
+            state.apply({"type": "heartbeat", "session": "b",
+                         "jobs": ["j0"], "deadline": 99.0})
+
+    def test_expired_leases_view(self):
+        state = _fresh(2)
+        state.apply({"type": "lease", "session": "a", "jobs": ["j0", "j1"],
+                     "deadline": 5.0})
+        assert state.expired_leases(now=4.0) == []
+        assert state.expired_leases(now=6.0) == ["j0", "j1"]
+
+    def test_requeue_backoff_gates_leasable(self):
+        state = _fresh(1)
+        state.apply({"type": "lease", "session": "a", "jobs": ["j0"],
+                     "deadline": 1.0})
+        state.apply({"type": "requeue", "job_id": "j0", "reason": "x",
+                     "not_before": 100.0})
+        assert state.leasable(now=50.0, limit=5) == []
+        assert state.leasable(now=101.0, limit=5) == ["j0"]
+
+    def test_fail_terminal(self):
+        state = _fresh(1)
+        state.apply({"type": "lease", "session": "a", "jobs": ["j0"],
+                     "deadline": 1.0})
+        state.apply({"type": "fail", "job_id": "j0", "reason": "exhausted"})
+        assert state.jobs["j0"].state == FAILED
+        assert state.finished  # FAILED is terminal: nothing in flight
+
+    def test_cached_completion_skips_lease(self):
+        state = _fresh(1)
+        state.apply({"type": "cached", "job_id": "j0", "result": {"c": 1}})
+        job = state.jobs["j0"]
+        assert job.state == DONE and job.completed_by == "cache"
+        assert job.attempts == 0
+
+    def test_unknown_record_type_rejected(self):
+        state = _fresh(1)
+        with pytest.raises(Exception, match="unknown journal record"):
+            state.apply({"type": "teleport"})
+
+    def test_unknown_job_rejected(self):
+        state = _fresh(1)
+        with pytest.raises(ServiceError, match="unknown job"):
+            state.apply({"type": "requeue", "job_id": "nope",
+                         "not_before": 0.0})
+
+
+# -- property suites ------------------------------------------------------------
+
+
+@st.composite
+def _histories(draw):
+    """Random-but-valid transition histories over a small campaign.
+
+    Each step leases every eligible job to a random session, then for each
+    leased job randomly completes it, requeues it (lease expiry), fails it,
+    or leaves it leased.
+    """
+    n_jobs = draw(st.integers(2, 6))
+    n_rounds = draw(st.integers(1, 8))
+    choices = draw(st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 4)),
+        min_size=n_rounds * n_jobs, max_size=n_rounds * n_jobs,
+    ))
+    return n_jobs, n_rounds, choices
+
+
+@given(_histories())
+@STANDARD_SETTINGS
+def test_lease_lifecycle_invariants(history):
+    """No double-completion, monotone attempts, replay == live."""
+    n_jobs, n_rounds, choices = history
+    state = _fresh(n_jobs, max_attempts=10)
+    records = [{
+        "type": "ingest", "jobs": [j.to_dict() for j in state.spec.jobs],
+    }]
+    completed: set[str] = set()
+    attempts_seen = {f"j{i}": 0 for i in range(n_jobs)}
+    flat = iter(choices)
+    now = 0.0
+    for _ in range(n_rounds):
+        now += 1.0
+        for job_id in list(state.leasable(now, limit=n_jobs)):
+            action, session_i = next(flat)
+            session = f"s{session_i}"
+            record = {"type": "lease", "session": session,
+                      "jobs": [job_id], "deadline": now + 1.0}
+            state.apply(record)
+            records.append(record)
+            # attempts must be strictly monotone in lease count
+            assert state.jobs[job_id].attempts == attempts_seen[job_id] + 1
+            attempts_seen[job_id] = state.jobs[job_id].attempts
+            if action == 0:
+                record = {"type": "complete", "session": session,
+                          "job_id": job_id, "result": job_id}
+                state.apply(record)
+                records.append(record)
+                assert job_id not in completed  # never double-completed
+                completed.add(job_id)
+            elif action == 1:
+                record = {"type": "requeue", "job_id": job_id,
+                          "reason": "expired", "not_before": now}
+                state.apply(record)
+                records.append(record)
+                # a requeued job can never be completed by the old holder
+                with pytest.raises((LeaseExpired, ServiceError)):
+                    state.apply({"type": "complete", "session": session,
+                                 "job_id": job_id, "result": "stale"})
+            elif action == 2:
+                record = {"type": "fail", "job_id": job_id,
+                          "reason": "exhausted"}
+                state.apply(record)
+                records.append(record)
+            # action == 3: leave leased (lease expires beyond this round)
+    # every DONE job completed exactly once, with its own result
+    results = state.results()
+    assert set(results) == completed
+    assert all(results[job_id] == job_id for job_id in completed)
+    # replayed state is indistinguishable from live state
+    replayed = CampaignState.replay(records, _spec(n_jobs, max_attempts=10))
+    assert {k: vars(v) for k, v in replayed.jobs.items()} == \
+        {k: vars(v) for k, v in state.jobs.items()}
+    assert replayed.counts() == state.counts()
+
+
+@given(st.integers(0, 2 ** 32 - 1), st.integers(2, 5))
+@STANDARD_SETTINGS
+def test_completed_result_immutable_under_stale_writes(seed, n_jobs):
+    """Whatever interleaving of stale completes arrives, the first ack wins."""
+    import random
+
+    rng = random.Random(seed)
+    state = _fresh(n_jobs, max_attempts=10)
+    for i in range(n_jobs):
+        state.apply({"type": "lease", "session": f"s{i}",
+                     "jobs": [f"j{i}"], "deadline": 10.0})
+        state.apply({"type": "complete", "session": f"s{i}",
+                     "job_id": f"j{i}", "result": f"first-{i}"})
+    for _ in range(10):
+        victim = rng.randrange(n_jobs)
+        with pytest.raises(ServiceError):
+            state.apply({"type": "complete",
+                         "session": f"s{rng.randrange(n_jobs)}",
+                         "job_id": f"j{victim}", "result": "stale"})
+    assert state.results() == {
+        f"j{i}": f"first-{i}" for i in range(n_jobs)
+    }
