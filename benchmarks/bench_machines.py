@@ -1,0 +1,85 @@
+"""Machine-registry benchmark: the Section VI-B crossover per machine.
+
+The paper's communication argument is Summit-specific: a 2 x 12.5 GB/s
+injection makes BERT-large's 1.4 GB gradient communication-bound. The
+registry generalizes the question — on a Frontier- or Perlmutter-class
+fabric (100 GB/s injection), the same gradient crosses over at a larger
+node count, or never within the machine. This benchmark maps the ResNet-50
+and BERT-large crossover points for every registry machine and persists
+them as ``BENCH_machines.json`` for the CI artifact set.
+"""
+
+import numpy as np
+from _record import record
+from conftest import report
+
+from repro.cost.crossover import crossover_nodes, machine_crossover_sweep
+from repro.machine.spec import SUMMIT, get_machine, machine_names
+from repro.models import bert_large, resnet50
+
+#: Per-step compute budget (s): the ~50 ms forward+backward the paper uses
+#: to call BERT-large's 110 ms allreduce "hard to hide".
+COMPUTE_TIME = 0.05
+
+
+def _crossover_point(value) -> int | None:
+    return None if np.isnan(value) else int(value)
+
+
+def test_machine_crossover_points(benchmark):
+    sizes = np.array([resnet50().gradient_bytes, bert_large().gradient_bytes])
+
+    def compute():
+        out = {}
+        for name in machine_names():
+            spec = get_machine(name)
+            result = machine_crossover_sweep(
+                sizes,
+                np.arange(2, min(4096, spec.node_count) + 1),
+                machine=spec,
+                compute_time=COMPUTE_TIME,
+            )
+            cross = crossover_nodes(result)
+            out[name] = {
+                "provenance": spec.provenance,
+                "injection_bandwidth": spec.injection_bandwidth,
+                "resnet50_crossover_nodes": _crossover_point(cross[0]),
+                "bert_large_crossover_nodes": _crossover_point(cross[1]),
+            }
+        return out
+
+    points = benchmark(compute)
+
+    # Summit is the paper baseline: BERT-large is communication-bound at
+    # small scale (112 ms allreduce vs the 50 ms budget) while ResNet-50's
+    # 8 ms estimate leaves plenty of room.
+    summit = points["summit"]
+    assert summit["provenance"] == "paper"
+    assert summit["injection_bandwidth"] == SUMMIT.injection_bandwidth
+    assert summit["bert_large_crossover_nodes"] is not None
+    bert_summit = summit["bert_large_crossover_nodes"]
+
+    # A faster fabric can only push the crossover out (or off the machine).
+    for name in ("frontier-like", "perlmutter-like"):
+        bert = points[name]["bert_large_crossover_nodes"]
+        assert bert is None or bert >= bert_summit, name
+
+    record(
+        "machines",
+        {"compute_time_seconds": COMPUTE_TIME, "machines": points},
+    )
+
+    report(
+        "Machine registry — comm-vs-compute crossover points",
+        [
+            (
+                name,
+                p["provenance"],
+                f"{p['injection_bandwidth'] / 1e9:.0f} GB/s",
+                p["resnet50_crossover_nodes"] or "never",
+                p["bert_large_crossover_nodes"] or "never",
+            )
+            for name, p in points.items()
+        ],
+        header=("machine", "provenance", "injection", "resnet50", "bert-large"),
+    )

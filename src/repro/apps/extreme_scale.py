@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine.spec import MachineSpec
     from repro.resilience.report import ResilienceReport
 
 from repro.errors import ConfigurationError
@@ -37,6 +38,20 @@ from repro.training.job import TrainingJob
 from repro.training.parallelism import DataSource, ParallelismPlan
 
 
+def _resolve_system(
+    system: "System | None", machine: "MachineSpec | str | None"
+) -> System:
+    """An explicit ``system`` wins; else ``machine`` (registry name or
+    spec) builds one; else the historical Summit default."""
+    if system is not None:
+        return system
+    if machine is not None:
+        from repro.machine.spec import resolve_machine
+
+        return resolve_machine(machine).system()
+    return summit(include_high_mem=False)
+
+
 @dataclass(frozen=True)
 class ExtremeScaleApp:
     """One Section IV-B application, ready to simulate."""
@@ -50,18 +65,27 @@ class ExtremeScaleApp:
     peak_nodes: int
     reported: dict  # the paper's numbers (subset of reference.EXTREME_SCALE_CLAIMS)
 
-    def job(self, n_nodes: int, system: System | None = None) -> TrainingJob:
+    def job(
+        self,
+        n_nodes: int,
+        system: System | None = None,
+        machine: "MachineSpec | str | None" = None,
+    ) -> TrainingJob:
         return TrainingJob(
             model=self.model_factory(),
-            system=system or summit(include_high_mem=False),
+            system=_resolve_system(system, machine),
             n_nodes=n_nodes,
             plan=self.plan,
             data_source=self.data_source,
         )
 
-    def simulate(self, system: System | None = None) -> dict:
+    def simulate(
+        self,
+        system: System | None = None,
+        machine: "MachineSpec | str | None" = None,
+    ) -> dict:
         """Run baseline and peak configurations; return measured numbers."""
-        system = system or summit(include_high_mem=False)
+        system = _resolve_system(system, machine)
         base = self.job(self.baseline_nodes, system)
         peak = self.job(self.peak_nodes, system)
         return {
@@ -74,7 +98,11 @@ class ExtremeScaleApp:
             "reported": self.reported,
         }
 
-    def cost_model(self, system: System | None = None):
+    def cost_model(
+        self,
+        system: System | None = None,
+        machine: "MachineSpec | str | None" = None,
+    ):
         """The app's step-time composite from the :mod:`repro.cost` layer.
 
         Evaluate at one node count (``.evaluate(n_nodes=...)``) or across a
@@ -85,7 +113,7 @@ class ExtremeScaleApp:
 
         return step_cost(
             self.model_factory(),
-            system or summit(include_high_mem=False),
+            _resolve_system(system, machine),
             self.plan,
             data_source=self.data_source,
         )
@@ -96,6 +124,7 @@ class ExtremeScaleApp:
         system: System | None = None,
         n_jobs: int = 1,
         cache=None,
+        machine: "MachineSpec | str | None" = None,
     ):
         """Vectorized step-time sweep over a node-count axis.
 
@@ -110,7 +139,7 @@ class ExtremeScaleApp:
         from repro.cost import sweep
 
         return sweep(
-            self.cost_model(system), {"n_nodes": n_nodes},
+            self.cost_model(system, machine), {"n_nodes": n_nodes},
             n_jobs=n_jobs, cache=cache,
         )
 
@@ -123,6 +152,7 @@ class ExtremeScaleApp:
         empirical: bool = True,
         seed: int = 0,
         system: System | None = None,
+        machine: "MachineSpec | str | None" = None,
     ) -> "ResilienceReport":
         """Expected goodput at scale under failures and checkpointing.
 
@@ -134,7 +164,7 @@ class ExtremeScaleApp:
         """
         nodes = n_nodes if n_nodes is not None else self.peak_nodes
         model = self.goodput_model(
-            nodes, node_mtbf_seconds, state_bytes_per_node, system
+            nodes, node_mtbf_seconds, state_bytes_per_node, system, machine
         )
         return model.report(
             name=f"{self.key} @ {nodes} nodes ({tier})",
@@ -149,8 +179,13 @@ class ExtremeScaleApp:
         node_mtbf_seconds: float | None = None,
         state_bytes_per_node: float | None = None,
         system: System | None = None,
+        machine: "MachineSpec | str | None" = None,
     ) -> "GoodputModel":
-        """The resilience-aware throughput model at this app's width."""
+        """The resilience-aware throughput model at this app's width.
+
+        With ``machine`` set, the checkpoint tiers (NVMe, shared FS) come
+        from that machine's spec instead of Summit's.
+        """
         from repro.resilience.faults import DEFAULT_NODE_MTBF_SECONDS
         from repro.training.goodput import (
             DEFAULT_STATE_BYTES_PER_NODE,
@@ -158,8 +193,7 @@ class ExtremeScaleApp:
         )
 
         nodes = n_nodes if n_nodes is not None else self.peak_nodes
-        return GoodputModel(
-            job=self.job(nodes, system),
+        kwargs = dict(
             node_mtbf_seconds=(
                 node_mtbf_seconds
                 if node_mtbf_seconds is not None
@@ -171,6 +205,10 @@ class ExtremeScaleApp:
                 else DEFAULT_STATE_BYTES_PER_NODE
             ),
         )
+        job = self.job(nodes, system, machine)
+        if machine is not None:
+            return GoodputModel.for_machine(job, machine, **kwargs)
+        return GoodputModel(job=job, **kwargs)
 
     def resilience_ensemble(
         self,
@@ -182,6 +220,7 @@ class ExtremeScaleApp:
         seed: int = 0,
         n_jobs: int = 1,
         system: System | None = None,
+        machine: "MachineSpec | str | None" = None,
     ) -> "list[RestartStats]":
         """A Monte-Carlo ensemble of checkpoint-restart runs for this app.
 
@@ -190,7 +229,7 @@ class ExtremeScaleApp:
         an ``n_jobs``-invariant error bar around the Young/Daly optimum.
         """
         model = self.goodput_model(
-            n_nodes, node_mtbf_seconds, state_bytes_per_node, system
+            n_nodes, node_mtbf_seconds, state_bytes_per_node, system, machine
         )
         return model.simulate_ensemble(
             tier=tier, seed=seed, n_replicas=n_replicas, n_jobs=n_jobs

@@ -24,6 +24,7 @@ class GordonBellFinalist:
     max_nodes: int | None = None
     peak_flops: float | None = None  # mixed precision, where reported
     description: str = ""
+    machine: str = "summit"  # machine-registry key the run was reported on
 
 
 GORDON_BELL_FINALISTS: tuple[GordonBellFinalist, ...] = (
@@ -83,11 +84,19 @@ GORDON_BELL_FINALISTS: tuple[GordonBellFinalist, ...] = (
 )
 
 
-def gordon_bell_table() -> dict[tuple[int, str], tuple[int, int]]:
+def finalists_for(machine: str = "summit") -> tuple[GordonBellFinalist, ...]:
+    """Finalists reported on one machine (every Table III entry is Summit's;
+    the filter exists so future machine registries stay queryable)."""
+    return tuple(f for f in GORDON_BELL_FINALISTS if f.machine == machine)
+
+
+def gordon_bell_table(
+    machine: str = "summit",
+) -> dict[tuple[int, str], tuple[int, int]]:
     """Recompute Table III from the registry:
     (year, category) -> (summit_finalists, summit_ai_ml_finalists)."""
     out: dict[tuple[int, str], tuple[int, int]] = {}
-    for finalist in GORDON_BELL_FINALISTS:
+    for finalist in finalists_for(machine):
         key = (finalist.year, finalist.category)
         total, ai = out.get(key, (0, 0))
         out[key] = (total + 1, ai + (1 if finalist.uses_ai else 0))

@@ -2,7 +2,9 @@
 
 Commands mirror the paper's strands:
 
-- ``machine``   — describe Summit (or a companion cluster);
+- ``machine``   — describe a machine-registry entry (``repro machine
+  frontier-like``) or list the registry; ``--system`` still describes the
+  OLCF Systems (Summit with its partitions, Rhea, Andes);
 - ``comm``      — Section VI-B allreduce analysis for a catalog model;
 - ``io``        — Section VI-B read-bandwidth feasibility;
 - ``scaling``   — weak/strong scaling table for a catalog model;
@@ -33,6 +35,10 @@ Commands mirror the paper's strands:
 ``resilience``, ``sweep``, ``telemetry`` and ``verify`` accept ``--json``
 for machine-readable output, and all four accept ``--jobs N`` to fan work
 out over a process pool — results are bit-identical at every worker count.
+The same four accept ``--machine NAME`` to run against a machine-registry
+entry instead of Summit (``repro sweep --machine frontier-like``); omitting
+the flag — or naming ``summit`` — keeps every output byte-identical to
+earlier releases.
 ``sweep`` caches results content-addressed under ``.repro-cache/``
 (``--no-cache`` disables); ``telemetry`` and ``resilience`` accept
 ``--replicas N`` for seeded Monte-Carlo ensembles.
@@ -53,10 +59,26 @@ from repro.training.parallelism import DataSource, ParallelismPlan
 
 
 def _cmd_machine(args: argparse.Namespace) -> int:
-    from repro.machine.summit import andes, rhea, summit
+    if args.system is not None:
+        from repro.machine.summit import andes, rhea, summit
 
-    factory = {"summit": summit, "rhea": rhea, "andes": andes}[args.system]
-    print(factory().describe())
+        factory = {"summit": summit, "rhea": rhea, "andes": andes}[args.system]
+        print(factory().describe())
+        return 0
+    from repro.machine.spec import get_machine, machine_names
+
+    if args.name is not None:
+        print(get_machine(args.name).describe())
+        return 0
+    print("machine registry (describe one with `repro machine NAME`):")
+    for name in machine_names():
+        spec = get_machine(name)
+        gpu = (
+            f"{spec.gpus_per_node} x {spec.gpus.name}"
+            if spec.gpus is not None else "CPU-only"
+        )
+        print(f"  {name:<16} {spec.name:<16} [{spec.provenance:<9}] "
+              f"{spec.node_count:>5} nodes, {gpu}")
     return 0
 
 
@@ -127,6 +149,7 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
         tier=args.tier,
         empirical=not args.analytic_only,
         seed=args.seed,
+        machine=args.machine,
     )
     ensemble = None
     if args.replicas > 1 and not args.analytic_only:
@@ -138,12 +161,14 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
             n_replicas=args.replicas,
             seed=args.seed,
             n_jobs=args.jobs,
+            machine=args.machine,
         )
     if args.json:
         import dataclasses
         import json
 
         payload = dataclasses.asdict(report)
+        payload.update(_machine_field(args))
         payload["goodput_fraction"] = report.goodput_fraction
         payload["lost_node_hours"] = report.lost_node_hours
         payload["overhead_fraction"] = report.overhead_fraction
@@ -199,7 +224,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache = ResultCache()
 
     if args.crossover:
-        sim = SummitSimulator()
+        sim = SummitSimulator.for_machine(args.machine)
         sizes = np.array([float(s) * 1e6 for s in args.message_mb.split(",")])
         result = sim.crossover_surface(
             sizes, np.array(nodes), compute_time=args.compute_ms * 1e-3,
@@ -217,6 +242,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 "mode": "crossover",
                 "compute_ms": args.compute_ms,
                 "nodes": nodes,
+                **_machine_field(args),
                 "rows": [
                     {
                         "message_bytes": float(size),
@@ -251,7 +277,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.apps.extreme_scale import get_app
 
     app = get_app(args.app)
-    result = app.sweep_nodes(nodes, n_jobs=args.jobs, cache=cache)
+    result = app.sweep_nodes(
+        nodes, n_jobs=args.jobs, cache=cache, machine=args.machine
+    )
     total = result.total()
     if args.json:
         import json
@@ -260,6 +288,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "mode": "app",
             "app": app.key,
             "nodes": nodes,
+            **_machine_field(args),
             "rows": [
                 {
                     "nodes": n,
@@ -290,6 +319,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _machine_field(args: argparse.Namespace) -> dict:
+    """The ``machine`` entry for a JSON payload.
+
+    Omitted entirely for the historical Summit default (flag absent *or*
+    ``--machine summit``) so those outputs stay byte-identical to every
+    earlier release.
+    """
+    if args.machine is None or args.machine == "summit":
+        return {}
+    return {"machine": args.machine}
+
+
 def _cache_note(cache) -> str:
     state = "hit (reused)" if cache.hits else "miss (stored)"
     return f"result cache: {state} under {cache.root}"
@@ -301,7 +342,8 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
 
     if args.replicas > 1:
         tel, replicas = run_scenario_replicas(
-            args.scenario, args.replicas, seed=args.seed, n_jobs=args.jobs
+            args.scenario, args.replicas, seed=args.seed, n_jobs=args.jobs,
+            machine=args.machine,
         )
         results = [r.results for r in replicas]
         report_lines = []
@@ -312,7 +354,9 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
             )
         name = replicas[0].name
     else:
-        scenario = run_scenario(args.scenario, seed=args.seed)
+        scenario = run_scenario(
+            args.scenario, seed=args.seed, machine=args.machine
+        )
         tel = scenario.telemetry
         results = scenario.results
         report_lines = scenario.report_lines
@@ -327,6 +371,7 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
             "scenario": name,
             "seed": args.seed,
             "n_replicas": args.replicas,
+            **_machine_field(args),
             "out": args.out,
             "n_trace_events": len(trace["traceEvents"]),
             "n_spans": len(tel.finished_spans()),
@@ -362,7 +407,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         return 0
     sections = args.sections.split(",") if args.sections else None
     report = run_conformance(
-        seed=args.seed, sections=sections, n_jobs=args.jobs
+        seed=args.seed, sections=sections, n_jobs=args.jobs,
+        machine=args.machine,
     )
     output = report.to_json() if args.json else report.format() + "\n"
     if args.out:
@@ -490,7 +536,18 @@ parallel execution & caching:
   --replicas N   (telemetry, resilience) run N seeded Monte-Carlo replicas
                  over SeedSequence child seeds; telemetry merges the
                  replica traces into one well-formed Chrome trace
+  --machine NAME (sweep, verify, telemetry, resilience) run against a
+                 machine-registry entry (summit, frontier-like,
+                 perlmutter-like, tpu-pod-like); the default is Summit and
+                 is byte-identical to omitting the flag
 """
+
+
+def _add_machine_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--machine", default=None, metavar="NAME",
+                   help="registry machine to run against (list with "
+                        "`repro machine`); default summit, byte-identical "
+                        "to omitting the flag")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -502,9 +559,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("machine", help="describe an OLCF system")
+    p = sub.add_parser(
+        "machine",
+        help="describe a registry machine, or list the registry",
+    )
+    p.add_argument("name", nargs="?", default=None, metavar="NAME",
+                   help="registry machine to describe, e.g. summit or "
+                        "frontier-like (omit to list the registry)")
     p.add_argument("--system", choices=("summit", "rhea", "andes"),
-                   default="summit")
+                   default=None,
+                   help="describe an OLCF System (all partitions) instead "
+                        "of a registry spec")
     p.set_defaults(fn=_cmd_machine)
 
     p = sub.add_parser("comm", help="Section VI-B allreduce analysis")
@@ -569,6 +634,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(0 = all cores)")
     p.add_argument("--json", action="store_true",
                    help="emit the report as JSON")
+    _add_machine_arg(p)
     p.set_defaults(fn=_cmd_resilience)
 
     p = sub.add_parser(
@@ -596,6 +662,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(.repro-cache/ or $REPRO_CACHE_DIR)")
     p.add_argument("--json", action="store_true",
                    help="emit the sweep table as JSON")
+    _add_machine_arg(p)
     p.set_defaults(fn=_cmd_sweep)
 
     from repro.telemetry.scenarios import SCENARIOS
@@ -617,6 +684,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the replicas (0 = all cores)")
     p.add_argument("--json", action="store_true",
                    help="emit scenario results + metrics as JSON")
+    _add_machine_arg(p)
     p.set_defaults(fn=_cmd_telemetry)
 
     def add_spec_args(p: argparse.ArgumentParser) -> None:
@@ -701,6 +769,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the report to this file")
     p.add_argument("--list", action="store_true",
                    help="list every registered expectation and exit")
+    _add_machine_arg(p)
     p.set_defaults(fn=_cmd_verify)
 
     return parser

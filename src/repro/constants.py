@@ -1,57 +1,53 @@
-"""Single source of truth for the paper's Summit calibration constants.
+"""Deprecated re-export of the Summit calibration constants.
 
-Every bandwidth the paper quotes (Section II-A hardware, Section VI-B
-analysis) lives here exactly once; the machine, network, and storage layers
-import these instead of repeating literals. The numbers are re-exported from
-:mod:`repro.machine.summit` — the user-facing home of the machine catalog —
-but are *defined* in this leaf module (importing only :mod:`repro.units`) so
-that :mod:`repro.network.link` and :mod:`repro.storage.filesystem` can use
-them without creating an import cycle through ``repro.machine``.
+The single source of truth for machine-level numbers moved to
+:mod:`repro.machine.spec` — every name below now resolves lazily (PEP 562)
+to a field or derived property of :data:`repro.machine.spec.SUMMIT`, so
+the values are bit-identical to the historical literals while existing
+``from repro.constants import ...`` call sites keep working.
 
-See DESIGN.md "Calibration constants" for the provenance of each value.
+New code should take a :class:`~repro.machine.spec.MachineSpec` parameter
+(default ``summit()``) instead of importing these globals; see DESIGN.md
+"Machine registry".
 """
 
 from __future__ import annotations
 
-from repro import units
+#: name -> attribute of ``repro.machine.spec.SUMMIT`` it resolves to.
+_SPEC_FIELDS = {
+    "SUMMIT_EDR_RAIL_BANDWIDTH": "injection_rail_bandwidth",
+    "SUMMIT_INJECTION_RAILS": "injection_rails",
+    "SUMMIT_INJECTION_BANDWIDTH": "injection_bandwidth",
+    "SUMMIT_INJECTION_LATENCY": "injection_latency",
+    "SUMMIT_ALGORITHMIC_BANDWIDTH": "algorithmic_bandwidth",
+    "SUMMIT_NVLINK_BANDWIDTH": "intra_node_bandwidth",
+    "SUMMIT_NVLINK_LATENCY": "intra_node_latency",
+    "SUMMIT_NODE_COUNT": "node_count",
+    "SUMMIT_GPUS_PER_NODE": "gpus_per_node",
+    "GPFS_AGGREGATE_READ_BANDWIDTH": "fs_aggregate_read_bandwidth",
+    "GPFS_AGGREGATE_WRITE_BANDWIDTH": "fs_aggregate_write_bandwidth",
+    "GPFS_PER_CLIENT_BANDWIDTH": "fs_per_client_bandwidth",
+    "GPFS_CAPACITY_BYTES": "fs_capacity_bytes",
+    "NVME_CAPACITY_BYTES": "nvme_capacity_bytes",
+    "NVME_READ_BANDWIDTH": "nvme_read_bandwidth",
+    "NVME_WRITE_BANDWIDTH": "nvme_write_bandwidth",
+    "NVME_AGGREGATE_READ_BANDWIDTH": "aggregate_nvme_read_bandwidth",
+}
 
-# -- network (Section II-A / VI-B) --------------------------------------------
+__all__ = sorted(_SPEC_FIELDS)
 
-#: One EDR InfiniBand rail: 100 Gb/s signalling -> 12.5 GB/s payload.
-SUMMIT_EDR_RAIL_BANDWIDTH = 12.5 * units.GB
 
-#: Summit node injection: dual-rail EDR, 2 x 12.5 GB/s = 25 GB/s.
-SUMMIT_INJECTION_RAILS = 2
-SUMMIT_INJECTION_BANDWIDTH = SUMMIT_INJECTION_RAILS * SUMMIT_EDR_RAIL_BANDWIDTH
+def __getattr__(name: str):
+    try:
+        field = _SPEC_FIELDS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    from repro.machine.spec import SUMMIT
 
-#: MPI-level one-way message latency on the fabric.
-SUMMIT_INJECTION_LATENCY = 1.0 * units.US
+    return getattr(SUMMIT, field)
 
-#: Section VI-B: ring-allreduce algorithmic bandwidth is half the injection
-#: bandwidth — the "12.5 GB/s" behind the 8 ms / 110 ms estimates.
-SUMMIT_ALGORITHMIC_BANDWIDTH = SUMMIT_INJECTION_BANDWIDTH / 2.0
 
-#: NVLink 2.0 brick pair between GPUs inside a node (per direction).
-SUMMIT_NVLINK_BANDWIDTH = 50 * units.GB
-SUMMIT_NVLINK_LATENCY = 0.7 * units.US
-
-# -- machine shape -------------------------------------------------------------
-
-SUMMIT_NODE_COUNT = 4608
-SUMMIT_GPUS_PER_NODE = 6
-
-# -- shared filesystem (Alpine / GPFS) ----------------------------------------
-
-GPFS_AGGREGATE_READ_BANDWIDTH = 2.5 * units.TB
-GPFS_AGGREGATE_WRITE_BANDWIDTH = 2.5 * units.TB
-GPFS_PER_CLIENT_BANDWIDTH = 12.5 * units.GB
-GPFS_CAPACITY_BYTES = 250 * units.PB
-
-# -- node-local NVMe burst buffer ----------------------------------------------
-
-NVME_CAPACITY_BYTES = 1.6 * units.TB
-NVME_READ_BANDWIDTH = 6.0 * units.GB
-NVME_WRITE_BANDWIDTH = 2.1 * units.GB
-
-#: "over 27 TB/s" aggregate: 6 GB/s x 4 608 nodes = 27.6 TB/s.
-NVME_AGGREGATE_READ_BANDWIDTH = NVME_READ_BANDWIDTH * SUMMIT_NODE_COUNT
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

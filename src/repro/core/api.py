@@ -10,6 +10,7 @@ Three entry points mirror the paper's three quantitative strands:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro import units
 from repro.cost import crossover_sweep, sweep
@@ -26,10 +27,18 @@ from repro.training.job import TrainingJob
 from repro.training.parallelism import DataSource, ParallelismPlan
 from repro.training.scaling import ScalingPoint, ScalingStudy
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine.spec import MachineSpec
+
 
 @dataclass
 class SummitSimulator:
     """The Summit machine model plus the Section VI-B analytics.
+
+    Despite the name (kept for API stability), the simulator runs against
+    any machine: build one with :meth:`for_machine` and every analytic —
+    allreduce estimates, step sweeps, crossover surfaces, I/O feasibility —
+    uses that machine's links and storage tiers.
 
     >>> sim = SummitSimulator()
     >>> round(sim.system.peak_flops() / 1e18, 1)   # "over 3 AI-ExaOps"
@@ -40,6 +49,19 @@ class SummitSimulator:
     """
 
     system: System = field(default_factory=lambda: summit())
+
+    @classmethod
+    def for_machine(
+        cls, machine: "MachineSpec | str | None" = None
+    ) -> "SummitSimulator":
+        """A simulator over a registry machine (name or spec; default
+        Summit — bit-identical to ``SummitSimulator()`` for the analytics,
+        which only read the main partition)."""
+        if machine is None:
+            return cls()
+        from repro.machine.spec import resolve_machine
+
+        return cls(system=resolve_machine(machine).system())
 
     def allreduce_estimate(self, model_key: str) -> float:
         """The paper's bandwidth-only allreduce estimate for a model's
@@ -139,6 +161,26 @@ class ScalingStudyRunner:
     plan: ParallelismPlan
     data_source: DataSource = DataSource.NVME
     system: System = field(default_factory=lambda: summit(include_high_mem=False))
+
+    @classmethod
+    def for_machine(
+        cls,
+        model_key: str,
+        plan: ParallelismPlan,
+        machine: "MachineSpec | str | None" = None,
+        data_source: DataSource = DataSource.NVME,
+    ) -> "ScalingStudyRunner":
+        """A runner whose system comes from the machine registry."""
+        if machine is None:
+            return cls(model_key=model_key, plan=plan, data_source=data_source)
+        from repro.machine.spec import resolve_machine
+
+        return cls(
+            model_key=model_key,
+            plan=plan,
+            data_source=data_source,
+            system=resolve_machine(machine).system(),
+        )
 
     def run(self, node_counts: list[int], strong: bool = False) -> list[ScalingPoint]:
         base = TrainingJob(

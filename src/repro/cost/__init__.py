@@ -14,6 +14,7 @@ from repro.cost.crossover import (
     DataParallelCrossoverModel,
     crossover_nodes,
     crossover_sweep,
+    machine_crossover_sweep,
 )
 from repro.cost.kernels import ALLREDUCE_ALGORITHMS
 from repro.cost.model import (
@@ -65,5 +66,6 @@ __all__ = [
     "sweep_scalar",
     "DataParallelCrossoverModel",
     "crossover_sweep",
+    "machine_crossover_sweep",
     "crossover_nodes",
 ]

@@ -102,6 +102,34 @@ class AnalyticCostModel(abc.ABC):
             critical=self.critical or tuple(terms),
         )
 
+    # -- machine binding ----------------------------------------------------------
+
+    def machine_config(self, machine: Any) -> dict[str, Any]:
+        """Config overrides this model derives from a machine.
+
+        The base mapping covers the interconnect keys shared by the network
+        cost models — ``latency`` (injection latency) and ``bandwidth``
+        (aggregate injection bytes/s) — restricted to the keys this model
+        actually ``requires``. Subclasses bind more (FLOPs, storage rates)
+        by overriding. Raises if the model has no machine-derived keys, so
+        a ``machine`` sweep axis on an incompatible model fails loudly.
+        """
+        from repro.machine.spec import resolve_machine
+
+        spec = resolve_machine(machine)
+        mapping: dict[str, Any] = {
+            "latency": spec.injection_latency,
+            "bandwidth": spec.injection_bandwidth,
+        }
+        overrides = {k: v for k, v in mapping.items() if k in self.requires}
+        if not overrides:
+            raise ConfigurationError(
+                f"{self.name}: no machine-derived config keys among requires "
+                f"{list(self.requires)}; override machine_config() to bind "
+                "this model to a machine"
+            )
+        return overrides
+
     # -- composition --------------------------------------------------------------
 
     def __or__(self, other: "AnalyticCostModel") -> "CompositeCostModel":
@@ -154,6 +182,23 @@ class CompositeCostModel(AnalyticCostModel):
             env.update(produced)
             out.update(produced)
         return out
+
+    def machine_config(self, machine: Any) -> dict[str, Any]:
+        """Union of the stages' machine-derived overrides; raises only if
+        *no* stage binds to a machine."""
+        overrides: dict[str, Any] = {}
+        bound = False
+        for stage in self.stages:
+            try:
+                overrides.update(stage.machine_config(machine))
+                bound = True
+            except ConfigurationError:
+                continue
+        if not bound:
+            raise ConfigurationError(
+                f"{self.name}: no stage derives config from a machine"
+            )
+        return overrides
 
     def evaluate_batch_staged(
         self, telemetry: Any, **config: Any

@@ -280,6 +280,11 @@ def sweep(
     shows which stage's formulas the time went into. Parallel sweeps record
     one ``sweep_shard`` span per shard, absorbed into the same handle.
 
+    A ``"machine"`` axis is special: its values are machine registry names
+    (or :class:`~repro.machine.spec.MachineSpec` objects), each resolved to
+    the model's ``machine_config`` overrides, with the remaining axes swept
+    per machine and the results stacked along a leading machine axis.
+
     >>> from repro.cost.models import ConvergenceCostModel
     >>> r = sweep(ConvergenceCostModel(), {"batch": [1024, 4096]},
     ...           min_samples=1.15e8, critical_batch=4096)
@@ -290,6 +295,8 @@ def sweep(
     """
     if not grid:
         raise ConfigurationError("sweep() needs at least one grid axis")
+    if "machine" in grid:
+        return _machine_sweep(model, grid, telemetry, n_jobs, cache, fixed)
     axes = {name: np.asarray(values) for name, values in grid.items()}
     for name, values in axes.items():
         if values.ndim != 1 or values.size == 0:
@@ -304,6 +311,66 @@ def sweep(
             lambda: _sweep_impl(model, axes, fixed, telemetry, n_jobs),
         )
     return _sweep_impl(model, axes, fixed, telemetry, n_jobs)
+
+
+def _machine_sweep(
+    model: Any,
+    grid: dict[str, Any],
+    telemetry: Any,
+    n_jobs: int,
+    cache: Any,
+    fixed: dict[str, Any],
+) -> SweepResult:
+    """One sweep per machine over the remaining axes, stacked along a
+    leading ``machine`` axis whose coordinates are the registry keys.
+
+    Each machine contributes its ``model.machine_config`` overrides (which
+    shadow any same-named ``fixed`` entries — the axis exists to vary
+    them). The cache, when given, is consulted by the per-machine
+    sub-sweeps, so single-machine and multi-machine runs share entries.
+    """
+    from repro.machine.spec import resolve_machine
+
+    specs = [resolve_machine(m) for m in grid["machine"]]
+    if not specs:
+        raise ConfigurationError(
+            "sweep axis 'machine' must be a non-empty sequence"
+        )
+    keys = np.asarray([spec.key for spec in specs])
+    rest = {name: values for name, values in grid.items() if name != "machine"}
+    if rest:
+        subs = [
+            sweep(
+                model, rest, telemetry=telemetry, n_jobs=n_jobs, cache=cache,
+                **{**fixed, **model.machine_config(spec)},
+            )
+            for spec in specs
+        ]
+        first = subs[0]
+        terms = {
+            term: np.stack([s.term(term) for s in subs], axis=0)
+            for term in first.breakdown
+        }
+        axes = {"machine": keys, **first.axes}
+        inner = first.breakdown
+    else:
+        points = [
+            model.evaluate(**{**fixed, **model.machine_config(spec)})
+            for spec in specs
+        ]
+        inner = points[0]
+        terms = {
+            term: np.asarray([float(bd[term]) for bd in points])
+            for term in inner
+        }
+        axes = {"machine": keys}
+    breakdown = CostBreakdown(
+        model=inner.model,
+        terms=terms,
+        provenance=inner.provenance,
+        critical=inner.critical,
+    )
+    return SweepResult(model=model.name, axes=axes, breakdown=breakdown)
 
 
 def _sweep_impl(

@@ -3,13 +3,42 @@
 This package provides the static hardware catalog the rest of the library
 builds on: GPU and CPU specifications (:mod:`repro.machine.gpu`,
 :mod:`repro.machine.cpu`), node compositions (:mod:`repro.machine.node`),
-whole systems (:mod:`repro.machine.system`) and the concrete OLCF machines
+whole systems (:mod:`repro.machine.system`), the machine registry
+(:mod:`repro.machine.spec` — ``summit``, ``frontier-like``,
+``perlmutter-like``, ``tpu-pod-like``) and the concrete OLCF machines
 described in Section II-A of the paper (:mod:`repro.machine.summit`).
 """
 
-from repro.machine.cpu import AMD_EPYC_7302, IBM_POWER9, INTEL_XEON_E5_2650V2, CpuSpec
-from repro.machine.gpu import NVIDIA_K80, NVIDIA_V100, GpuSpec, Precision
+from repro.machine.cpu import (
+    AMD_EPYC_7302,
+    AMD_EPYC_7763,
+    AMD_EPYC_7A53,
+    GENERIC_X86_HOST,
+    IBM_POWER9,
+    INTEL_XEON_E5_2650V2,
+    CpuSpec,
+)
+from repro.machine.gpu import (
+    AMD_MI250X,
+    NVIDIA_A100,
+    NVIDIA_K80,
+    NVIDIA_V100,
+    TPU_V4_LIKE,
+    GpuSpec,
+    Precision,
+)
 from repro.machine.node import NodeSpec
+from repro.machine.spec import (
+    FRONTIER_LIKE,
+    MACHINES,
+    PERLMUTTER_LIKE,
+    SUMMIT,
+    TPU_POD_LIKE,
+    MachineSpec,
+    get_machine,
+    machine_names,
+    resolve_machine,
+)
 from repro.machine.summit import (
     GPFS_AGGREGATE_READ_BANDWIDTH,
     NVME_AGGREGATE_READ_BANDWIDTH,
@@ -25,20 +54,35 @@ from repro.machine.system import System
 
 __all__ = [
     "AMD_EPYC_7302",
+    "AMD_EPYC_7763",
+    "AMD_EPYC_7A53",
+    "AMD_MI250X",
     "CpuSpec",
+    "FRONTIER_LIKE",
+    "GENERIC_X86_HOST",
     "GPFS_AGGREGATE_READ_BANDWIDTH",
     "GpuSpec",
     "IBM_POWER9",
     "INTEL_XEON_E5_2650V2",
+    "MACHINES",
+    "MachineSpec",
+    "NVIDIA_A100",
     "NVIDIA_K80",
     "NVIDIA_V100",
     "NVME_AGGREGATE_READ_BANDWIDTH",
     "NodeSpec",
+    "PERLMUTTER_LIKE",
     "Precision",
+    "SUMMIT",
     "SUMMIT_ALGORITHMIC_BANDWIDTH",
     "SUMMIT_INJECTION_BANDWIDTH",
     "System",
+    "TPU_POD_LIKE",
+    "TPU_V4_LIKE",
     "andes",
+    "get_machine",
+    "machine_names",
+    "resolve_machine",
     "rhea",
     "summit",
     "summit_high_mem_node",

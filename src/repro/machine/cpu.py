@@ -62,3 +62,29 @@ AMD_EPYC_7302 = CpuSpec(
     usable_cores=16,
     clock_hz=3.0 * units.GIGA,
 )
+
+# -- non-OLCF hosts for the MachineSpec registry (provenance "estimated") -----
+
+#: Frontier's host processor ("Trento"), 8 cores reserved for the system.
+AMD_EPYC_7A53 = CpuSpec(
+    name="AMD EPYC 7A53",
+    cores=64,
+    usable_cores=56,
+    clock_hz=2.0 * units.GIGA,
+)
+
+#: Perlmutter GPU-node host processor ("Milan").
+AMD_EPYC_7763 = CpuSpec(
+    name="AMD EPYC 7763",
+    cores=64,
+    usable_cores=64,
+    clock_hz=2.45 * units.GIGA,
+)
+
+#: Anonymous x86 host for the abstract ``tpu-pod-like`` machine.
+GENERIC_X86_HOST = CpuSpec(
+    name="Generic x86 host",
+    cores=48,
+    usable_cores=48,
+    clock_hz=2.2 * units.GIGA,
+)

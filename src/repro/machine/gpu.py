@@ -92,3 +92,46 @@ NVIDIA_K80 = GpuSpec(
     memory_bytes=24 * units.GIB,
     memory_bandwidth=480 * units.GB,
 )
+
+# -- non-Summit accelerators for the MachineSpec registry ----------------------
+# Values below are vendor datasheet numbers, not paper-stated calibrations;
+# every MachineSpec built from them carries provenance class "estimated".
+
+#: Frontier's accelerator, treated as one device (both GCDs): 383 TFLOP/s
+#: matrix FP16, 128 GB HBM2e.
+AMD_MI250X = GpuSpec(
+    name="AMD Instinct MI250X",
+    peak_flops={
+        Precision.FP64: 47.9 * units.TFLOPS,
+        Precision.FP32: 47.9 * units.TFLOPS,
+        Precision.MIXED: 383.0 * units.TFLOPS,
+    },
+    memory_bytes=128 * units.GIB,
+    memory_bandwidth=3.2 * units.TB,
+    nvlink_bandwidth=100 * units.GB,  # Infinity Fabric between packages
+)
+
+#: Perlmutter's accelerator (40 GB SXM variant): 312 TFLOP/s dense tensor.
+NVIDIA_A100 = GpuSpec(
+    name="NVIDIA A100 (40 GB)",
+    peak_flops={
+        Precision.FP64: 9.7 * units.TFLOPS,
+        Precision.FP32: 19.5 * units.TFLOPS,
+        Precision.MIXED: 312.0 * units.TFLOPS,
+    },
+    memory_bytes=40 * units.GB,
+    memory_bandwidth=1.555 * units.TB,
+    nvlink_bandwidth=100 * units.GB,  # NVLink 3 per-direction link pair
+)
+
+#: Abstract TPU-class accelerator for the ``tpu-pod-like`` machine: bf16
+#: systolic peak with a modest non-matrix vector rate.
+TPU_V4_LIKE = GpuSpec(
+    name="TPU-v4-like accelerator",
+    peak_flops={
+        Precision.FP32: 68.75 * units.TFLOPS,
+        Precision.MIXED: 275.0 * units.TFLOPS,
+    },
+    memory_bytes=32 * units.GIB,
+    memory_bandwidth=1.2 * units.TB,
+)

@@ -4,9 +4,11 @@ All capacities and rates below are as stated in the paper (see DESIGN.md
 "Calibration constants"); where the paper gives no number (e.g. Andes'
 interconnect) we use the published system documentation values.
 
-The Summit calibration constants themselves are *defined* in
-:mod:`repro.constants` (a leaf module, to avoid import cycles) and
-re-exported here — ``repro.machine.summit`` is their user-facing home.
+The Summit calibration numbers themselves live in the machine registry —
+:data:`repro.machine.spec.SUMMIT` — and the node/system builders here
+consume that spec, so there is exactly one copy of every value. The
+historical constant names stay importable from this module (and from the
+deprecated :mod:`repro.constants` shim) for compatibility.
 """
 
 from __future__ import annotations
@@ -31,12 +33,12 @@ from repro.constants import (
     SUMMIT_NVLINK_BANDWIDTH,
     SUMMIT_NVLINK_LATENCY,
 )
-from repro.machine.cpu import AMD_EPYC_7302, IBM_POWER9, INTEL_XEON_E5_2650V2
+from repro.machine.cpu import AMD_EPYC_7302, INTEL_XEON_E5_2650V2
 from repro.machine.gpu import NVIDIA_K80, NVIDIA_V100, GpuSpec
 from repro.machine.node import NodeSpec
+from repro.machine.spec import SUMMIT
 from repro.machine.system import System
-from repro.network.link import SUMMIT_INJECTION, LinkSpec
-from repro.storage.filesystem import SUMMIT_GPFS
+from repro.network.link import LinkSpec
 
 __all__ = [
     "summit_node",
@@ -44,7 +46,7 @@ __all__ = [
     "summit",
     "rhea",
     "andes",
-    # re-exported calibration constants (defined in repro.constants)
+    # re-exported calibration constants (defined on repro.machine.spec.SUMMIT)
     "SUMMIT_EDR_RAIL_BANDWIDTH",
     "SUMMIT_INJECTION_RAILS",
     "SUMMIT_INJECTION_BANDWIDTH",
@@ -67,20 +69,9 @@ __all__ = [
 
 def summit_node() -> NodeSpec:
     """An original Summit AC922 node: 2 x POWER9 + 6 x V100, 512 GB DDR,
-    96 GB HBM2 aggregate, 1.6 TB NVMe, dual-rail EDR."""
-    return NodeSpec(
-        name="IBM AC922 (Summit)",
-        cpus=IBM_POWER9,
-        cpu_count=2,
-        gpus=NVIDIA_V100,
-        gpu_count=SUMMIT_GPUS_PER_NODE,
-        host_memory_bytes=512 * units.GIB,
-        nvme_bytes=NVME_CAPACITY_BYTES,
-        nvme_read_bandwidth=NVME_READ_BANDWIDTH,
-        nvme_write_bandwidth=NVME_WRITE_BANDWIDTH,
-        injection_bandwidth=SUMMIT_INJECTION_BANDWIDTH,
-        tags=frozenset({"gpu", "nvme"}),
-    )
+    96 GB HBM2 aggregate, 1.6 TB NVMe, dual-rail EDR — built straight from
+    the registry spec."""
+    return SUMMIT.node()
 
 
 def summit_high_mem_node() -> NodeSpec:
@@ -97,15 +88,15 @@ def summit_high_mem_node() -> NodeSpec:
     )
     return NodeSpec(
         name="IBM AC922 (Summit high-mem)",
-        cpus=IBM_POWER9,
-        cpu_count=2,
+        cpus=SUMMIT.cpus,
+        cpu_count=SUMMIT.cpu_count,
         gpus=big_v100,
-        gpu_count=SUMMIT_GPUS_PER_NODE,
+        gpu_count=SUMMIT.gpus_per_node,
         host_memory_bytes=2 * units.TB,
-        nvme_bytes=4 * NVME_CAPACITY_BYTES,
-        nvme_read_bandwidth=4 * NVME_READ_BANDWIDTH,
-        nvme_write_bandwidth=4 * NVME_WRITE_BANDWIDTH,
-        injection_bandwidth=SUMMIT_INJECTION_BANDWIDTH,
+        nvme_bytes=4 * SUMMIT.nvme_capacity_bytes,
+        nvme_read_bandwidth=4 * SUMMIT.nvme_read_bandwidth,
+        nvme_write_bandwidth=4 * SUMMIT.nvme_write_bandwidth,
+        injection_bandwidth=SUMMIT.injection_bandwidth,
         tags=frozenset({"gpu", "nvme", "high-mem"}),
     )
 
@@ -118,16 +109,7 @@ def summit(include_high_mem: bool = True) -> System:
     3.5
     """
     extras = ((summit_high_mem_node(), 54),) if include_high_mem else ()
-    return System(
-        name="Summit",
-        node=summit_node(),
-        node_count=SUMMIT_NODE_COUNT,
-        interconnect=SUMMIT_INJECTION,
-        shared_fs=SUMMIT_GPFS,
-        extra_partitions=extras,
-        fabric_levels=3,
-        fabric_radix=36,
-    )
+    return SUMMIT.system(extra_partitions=extras)
 
 
 def rhea() -> System:
@@ -161,7 +143,7 @@ def rhea() -> System:
         node=cpu_node,
         node_count=512,
         interconnect=LinkSpec(latency=1.3 * units.US, bandwidth=7 * units.GB),
-        shared_fs=SUMMIT_GPFS,
+        shared_fs=SUMMIT.shared_fs,
         extra_partitions=((gpu_node, 9),),
         fabric_levels=2,
     )
@@ -199,7 +181,7 @@ def andes() -> System:
         node=cpu_node,
         node_count=695,
         interconnect=LinkSpec(latency=1.3 * units.US, bandwidth=12.5 * units.GB),
-        shared_fs=SUMMIT_GPFS,
+        shared_fs=SUMMIT.shared_fs,
         extra_partitions=((gpu_node, 9),),
         fabric_levels=2,
     )

@@ -34,6 +34,9 @@ class System:
     shared_fs:
         Center-wide filesystem; ``None`` for a cluster sharing another
         system's filesystem (Rhea/Andes mount Summit's).
+    intra_node_link:
+        NVLink-class link between accelerators inside a node; ``None`` for
+        systems where it is unknown (callers fall back to Summit's NVLink2).
     """
 
     name: str
@@ -44,6 +47,7 @@ class System:
     extra_partitions: tuple[tuple[NodeSpec, int], ...] = field(default_factory=tuple)
     fabric_levels: int = 3
     fabric_radix: int = 36
+    intra_node_link: LinkSpec | None = None
 
     def __post_init__(self) -> None:
         if self.node_count < 1:

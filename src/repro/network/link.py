@@ -9,9 +9,12 @@ MPI-level latency.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro import constants
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine.spec import MachineSpec
 
 
 @dataclass(frozen=True)
@@ -59,21 +62,49 @@ class LinkSpec:
         return size_bytes / self.transfer_time(size_bytes)
 
 
-#: One rail of EDR InfiniBand (100 Gb/s signalling -> 12.5 GB/s payload).
-EDR_RAIL = LinkSpec(
-    latency=constants.SUMMIT_INJECTION_LATENCY,
-    bandwidth=constants.SUMMIT_EDR_RAIL_BANDWIDTH,
-)
+def injection_link(machine: "MachineSpec | str | None" = None) -> LinkSpec:
+    """Per-node injection :class:`LinkSpec` for ``machine`` (default Summit)."""
+    from repro.machine.spec import resolve_machine
 
-#: Summit's dual-rail EDR NIC: 25 GB/s injection per node.
-SUMMIT_INJECTION = LinkSpec(
-    latency=constants.SUMMIT_INJECTION_LATENCY,
-    bandwidth=constants.SUMMIT_EDR_RAIL_BANDWIDTH,
-    rails=constants.SUMMIT_INJECTION_RAILS,
-)
+    return resolve_machine(machine).interconnect
 
-#: NVLink 2.0 brick pair between GPUs inside a Summit node (per direction).
-NVLINK2 = LinkSpec(
-    latency=constants.SUMMIT_NVLINK_LATENCY,
-    bandwidth=constants.SUMMIT_NVLINK_BANDWIDTH,
-)
+
+def intra_node_link(machine: "MachineSpec | str | None" = None) -> LinkSpec:
+    """NVLink-class intra-node :class:`LinkSpec` for ``machine``."""
+    from repro.machine.spec import resolve_machine
+
+    return resolve_machine(machine).intra_node_link
+
+
+# The Summit singletons below are resolved lazily (PEP 562) from the machine
+# registry so importing this module never drags in ``repro.machine`` — the
+# registry imports this module for the LinkSpec class.
+#
+#   EDR_RAIL          one EDR InfiniBand rail (12.5 GB/s payload)
+#   SUMMIT_INJECTION  dual-rail EDR NIC, 25 GB/s injection per node
+#   NVLINK2           NVLink 2.0 brick pair inside a node (per direction)
+
+
+def __getattr__(name: str) -> LinkSpec:
+    if name == "EDR_RAIL":
+        from repro.machine.spec import SUMMIT
+
+        return LinkSpec(
+            latency=SUMMIT.injection_latency,
+            bandwidth=SUMMIT.injection_rail_bandwidth,
+        )
+    if name == "SUMMIT_INJECTION":
+        from repro.machine.spec import SUMMIT
+
+        return SUMMIT.interconnect
+    if name == "NVLINK2":
+        from repro.machine.spec import SUMMIT
+
+        return SUMMIT.intra_node_link
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list:
+    return sorted(
+        set(globals()) | {"EDR_RAIL", "SUMMIT_INJECTION", "NVLINK2"}
+    )

@@ -19,12 +19,20 @@ radix and a "slimming" factor for tapered (oversubscribed) variants:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import networkx as nx
 
 from repro.errors import ConfigurationError
-from repro.network.link import EDR_RAIL, LinkSpec
+from repro.network.link import LinkSpec
+
+
+def _default_link() -> LinkSpec:
+    # Resolved at instantiation time: EDR_RAIL is a lazy (PEP 562) attribute
+    # backed by the machine registry, which imports this module's package.
+    from repro.network.link import EDR_RAIL
+
+    return EDR_RAIL
 
 
 @dataclass(frozen=True)
@@ -50,7 +58,7 @@ class FatTreeSpec:
     radix: int = 36
     levels: int = 3
     taper: float = 1.0
-    link: LinkSpec = EDR_RAIL
+    link: LinkSpec = field(default_factory=_default_link)
 
     def __post_init__(self) -> None:
         if self.hosts < 1:

@@ -3,11 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.portfolio.project import Project
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine.spec import MachineSpec
 
 
 @dataclass(frozen=True)
@@ -49,12 +53,47 @@ SUMMIT_QUEUE_BINS = (
     (1, 2.0),
 )
 
+#: The bins as machine fractions: Summit's thresholds are 60 % / 20 % /
+#: 2 % / 1 % of 4 608 nodes (rounded), which is how the policy transfers
+#: to other machine sizes.
+QUEUE_BIN_FRACTIONS = (
+    (0.6, 24.0),
+    (0.2, 24.0),
+    (0.02, 12.0),
+    (0.01, 6.0),
+    (None, 2.0),  # catch-all: 1 node and up
+)
 
-def walltime_limit(nodes: int) -> float:
-    """Walltime limit in seconds for a job of ``nodes`` nodes."""
+
+def queue_bins_for(
+    machine: "MachineSpec | str | None" = None,
+) -> tuple[tuple[int, float], ...]:
+    """The capability-queue bins scaled to ``machine``'s node count.
+
+    Summit reproduces :data:`SUMMIT_QUEUE_BINS` exactly (the fractions
+    round back to the paper's thresholds).
+    """
+    from repro.machine.spec import resolve_machine
+
+    nodes = resolve_machine(machine).node_count
+    return tuple(
+        (1 if fraction is None else max(1, round(fraction * nodes)), hours)
+        for fraction, hours in QUEUE_BIN_FRACTIONS
+    )
+
+
+def walltime_limit(
+    nodes: int, machine: "MachineSpec | str | None" = None
+) -> float:
+    """Walltime limit in seconds for a job of ``nodes`` nodes.
+
+    Without ``machine`` this is Summit's exact queue policy; with one, the
+    bins scale as fractions of that machine's node count.
+    """
     if nodes < 1:
         raise ConfigurationError("nodes must be >= 1")
-    for min_nodes, hours in SUMMIT_QUEUE_BINS:
+    bins = SUMMIT_QUEUE_BINS if machine is None else queue_bins_for(machine)
+    for min_nodes, hours in bins:
         if nodes >= min_nodes:
             return hours * 3600.0
     raise AssertionError("unreachable: last bin matches all sizes")
@@ -63,9 +102,10 @@ def walltime_limit(nodes: int) -> float:
 def campaign_from_portfolio(
     projects: list[Project],
     jobs_per_project: int = 3,
-    machine_nodes: int = 4608,
+    machine_nodes: int | None = None,
     horizon: float = 7 * 24 * 3600.0,
     seed: int = 0,
+    machine: "MachineSpec | str | None" = None,
 ) -> list[Job]:
     """Generate a synthetic job stream from portfolio records.
 
@@ -73,11 +113,22 @@ def campaign_from_portfolio(
     cap that scales with the project's allocation (bigger awards run wider,
     the INCITE capability expectation); durations are log-normal within the
     size bin's walltime limit; submissions are uniform over the horizon.
+
+    ``machine`` sizes the campaign (node-count cap and queue bins) to a
+    registry machine; an explicit ``machine_nodes`` overrides its node
+    count. The default is Summit's 4 608 nodes with Summit's exact bins.
     """
     if not projects:
         raise ConfigurationError("no projects")
     if jobs_per_project < 1:
         raise ConfigurationError("jobs_per_project must be >= 1")
+    if machine_nodes is None:
+        if machine is None:
+            machine_nodes = 4608
+        else:
+            from repro.machine.spec import resolve_machine
+
+            machine_nodes = resolve_machine(machine).node_count
     rng = np.random.default_rng(seed)
     max_alloc = max(p.allocation_hours for p in projects)
     jobs: list[Job] = []
@@ -87,7 +138,7 @@ def campaign_from_portfolio(
         for j in range(jobs_per_project):
             log_nodes = rng.uniform(0, np.log(max(2, cap)))
             nodes = max(1, int(np.exp(log_nodes)))
-            limit = walltime_limit(nodes)
+            limit = walltime_limit(nodes, machine)
             duration = float(
                 np.clip(limit * rng.lognormal(mean=-1.2, sigma=0.6), 300.0, limit)
             )

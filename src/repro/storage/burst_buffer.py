@@ -10,11 +10,14 @@ per-epoch global shuffling is expensive once the dataset is partitioned.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro import constants
 from repro.errors import CapacityError, ConfigurationError
 from repro.storage.dataset import Dataset, ShardingPlan
 from repro.storage.filesystem import SharedFileSystem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine.spec import MachineSpec
 
 
 @dataclass(frozen=True)
@@ -122,9 +125,28 @@ class CachingLayer:
         return per_node / rate
 
 
-#: Summit's per-node burst buffer: 1.6 TB, ~6 GB/s read / ~2.1 GB/s write.
-SUMMIT_NVME = BurstBuffer(
-    capacity_bytes=constants.NVME_CAPACITY_BYTES,
-    read_bandwidth=constants.NVME_READ_BANDWIDTH,
-    write_bandwidth=constants.NVME_WRITE_BANDWIDTH,
-)
+def burst_buffer(
+    machine: "MachineSpec | str | None" = None,
+) -> BurstBuffer | None:
+    """The per-node NVMe of ``machine`` (default Summit), or ``None`` for
+    machines without a node-local burst buffer."""
+    from repro.machine.spec import resolve_machine
+
+    return resolve_machine(machine).nvme
+
+
+# ``SUMMIT_NVME`` — 1.6 TB, ~6 GB/s read / ~2.1 GB/s write per node — resolves
+# lazily (PEP 562) from the machine registry, which imports this module for
+# the BurstBuffer class.
+
+
+def __getattr__(name: str) -> BurstBuffer:
+    if name == "SUMMIT_NVME":
+        from repro.machine.spec import SUMMIT
+
+        return SUMMIT.nvme
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | {"SUMMIT_NVME"})

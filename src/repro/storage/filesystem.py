@@ -10,10 +10,13 @@ paper highlights.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro import constants
 from repro.cost import kernels
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine.spec import MachineSpec
 
 
 @dataclass(frozen=True)
@@ -78,11 +81,26 @@ class SharedFileSystem:
         return size_bytes / self.read_bandwidth(n_clients, random_access)
 
 
-#: Summit's center-wide GPFS ("Alpine"): 2.5 TB/s read, 250 PB.
-SUMMIT_GPFS = SharedFileSystem(
-    name="Alpine (GPFS)",
-    aggregate_read_bandwidth=constants.GPFS_AGGREGATE_READ_BANDWIDTH,
-    aggregate_write_bandwidth=constants.GPFS_AGGREGATE_WRITE_BANDWIDTH,
-    per_client_read_bandwidth=constants.GPFS_PER_CLIENT_BANDWIDTH,
-    capacity_bytes=constants.GPFS_CAPACITY_BYTES,
-)
+def shared_filesystem(
+    machine: "MachineSpec | str | None" = None,
+) -> SharedFileSystem:
+    """The center-wide filesystem of ``machine`` (default Summit's Alpine)."""
+    from repro.machine.spec import resolve_machine
+
+    return resolve_machine(machine).shared_fs
+
+
+# ``SUMMIT_GPFS`` — Alpine, 2.5 TB/s read, 250 PB — resolves lazily (PEP 562)
+# from the machine registry, which imports this module for the class above.
+
+
+def __getattr__(name: str) -> SharedFileSystem:
+    if name == "SUMMIT_GPFS":
+        from repro.machine.spec import SUMMIT
+
+        return SUMMIT.shared_fs
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | {"SUMMIT_GPFS"})

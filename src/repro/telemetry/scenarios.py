@@ -33,21 +33,43 @@ class Scenario:
     results: dict = field(default_factory=dict)
 
 
-def _dag(seed: int) -> Scenario:
+def _hub_facility(machine) -> tuple[str, float]:
+    """The leadership hub of a scenario: (display name, relative speed).
+
+    ``machine=None`` is the historical Summit hub at speed 1.0 (the
+    byte-identity baseline); a registry machine renames the hub and scales
+    its speed by per-node mixed-precision peak relative to Summit's node.
+    """
+    if machine is None:
+        return "Summit", 1.0
+    from repro.machine.gpu import Precision
+    from repro.machine.spec import SUMMIT, resolve_machine
+
+    spec = resolve_machine(machine)
+    speed = (
+        spec.node().peak_flops(Precision.MIXED)
+        / SUMMIT.node().peak_flops(Precision.MIXED)
+    )
+    return spec.name, speed
+
+
+def _dag(seed: int, machine=None) -> Scenario:
     """Multi-facility campaign DAG with failures and checkpoint-restart.
 
     A Trifan-style loop: simulation ensembles feed surrogate training,
     whose output steers the next ensemble round. The wide simulation tasks
     carry a failure rate high enough that the seeded draws produce real
-    failures, retries and checkpoint restores.
+    failures, retries and checkpoint restores. ``machine`` swaps the
+    leadership hub for a registry machine (name + per-node speed).
     """
     from repro.resilience.retry import RetryPolicy
     from repro.workflows.dag import TaskGraph
     from repro.workflows.facility import Facility
 
     tel = Telemetry()
+    hub_name, hub_speed = _hub_facility(machine)
     facilities = {
-        "summit": Facility(name="Summit", nodes=8, speed=1.0),
+        "summit": Facility(name=hub_name, nodes=8, speed=hub_speed),
         "thetagpu": Facility(name="ThetaGPU", nodes=4, speed=1.6),
         "cs2": Facility(name="Cerebras CS-2", nodes=1, speed=10.0),
     }
@@ -105,12 +127,25 @@ def _dag(seed: int) -> Scenario:
     )
 
 
-def _scheduler(seed: int) -> Scenario:
-    """Batch scheduler under failures: a loaded queue on a small machine."""
+def _scheduler(seed: int, machine=None) -> Scenario:
+    """Batch scheduler under failures: a loaded queue on a small machine.
+
+    The scheduled machine is 32 nodes for the historical default; with a
+    registry ``machine`` it scales as the same fraction of that machine's
+    node count (Summit's 4 608 nodes -> 32), clamped to [8, 128] so the
+    scenario stays small enough to trace (and the widest job still fits).
+    """
     import numpy as np
 
     from repro.scheduler import Job, Policy, Scheduler
     from repro.scheduler.faults import FaultModel
+
+    machine_size = 32
+    if machine is not None:
+        from repro.machine.spec import resolve_machine
+
+        # floor of 16: the widest synthetic job must still fit the machine
+        machine_size = max(16, min(128, resolve_machine(machine).node_count // 144))
 
     tel = Telemetry()
     rng = np.random.default_rng(seed)
@@ -126,7 +161,7 @@ def _scheduler(seed: int) -> Scenario:
     faults = FaultModel(
         node_mtbf_seconds=6e5, checkpoint_interval=1800.0, seed=seed
     )
-    result = Scheduler(32, Policy.CAPABILITY).run(
+    result = Scheduler(machine_size, Policy.CAPABILITY).run(
         jobs, faults=faults, telemetry=tel
     )
     lines = [
@@ -149,15 +184,37 @@ def _scheduler(seed: int) -> Scenario:
     )
 
 
-def _restart(seed: int) -> Scenario:
-    """One checkpointed job under Young/Daly-interval checkpoint-restart."""
+def _restart(seed: int, machine=None) -> Scenario:
+    """One checkpointed job under Young/Daly-interval checkpoint-restart.
+
+    The historical 90 s checkpoint is the Summit-NVMe write time for a
+    fixed per-node payload; with a registry ``machine`` the same payload is
+    written to that machine's fastest tier (node-local NVMe, or the shared
+    filesystem when the machine has none).
+    """
     from repro.resilience.restart import simulate_checkpoint_restart
+
+    write_time = 90.0
+    if machine is not None:
+        from repro.machine.spec import SUMMIT, resolve_machine
+
+        spec = resolve_machine(machine)
+        payload = 90.0 * SUMMIT.nvme_write_bandwidth  # Summit-equivalent bytes
+        if spec.has_nvme:
+            rate = spec.nvme_write_bandwidth
+        else:
+            # 1024 clients share the aggregate, each capped per-client
+            rate = min(
+                spec.fs_per_client_bandwidth,
+                spec.fs_aggregate_write_bandwidth / 1024,
+            )
+        write_time = payload / rate
 
     tel = Telemetry()
     stats = simulate_checkpoint_restart(
         work_seconds=40 * 3600.0,
         interval=1800.0,
-        write_time=90.0,
+        write_time=write_time,
         n_nodes=1024,
         node_mtbf_seconds=5 * 365 * 24 * 3600.0,
         seed=seed,
@@ -192,18 +249,23 @@ SCENARIOS = {
 }
 
 
-def run_scenario(name: str, seed: int = 0) -> Scenario:
-    """Run one named scenario; raises on unknown names."""
+def run_scenario(name: str, seed: int = 0, machine=None) -> Scenario:
+    """Run one named scenario; raises on unknown names.
+
+    ``machine`` (registry name or spec) re-parameterizes the scenario's
+    machine-dependent knobs; ``None`` keeps the historical Summit-calibrated
+    values and byte-identical traces.
+    """
     if name not in SCENARIOS:
         raise ConfigurationError(
             f"unknown telemetry scenario {name!r}; "
             f"choose from {sorted(SCENARIOS)}"
         )
-    return SCENARIOS[name](seed)
+    return SCENARIOS[name](seed, machine=machine)
 
 
-def _scenario_replica(name: str, child_seed: int) -> Scenario:
-    return run_scenario(name, seed=child_seed)
+def _scenario_replica(name: str, machine, child_seed: int) -> Scenario:
+    return run_scenario(name, seed=child_seed, machine=machine)
 
 
 def run_scenario_replicas(
@@ -211,6 +273,7 @@ def run_scenario_replicas(
     n_replicas: int,
     seed: int = 0,
     n_jobs: int = 1,
+    machine=None,
 ) -> tuple[Telemetry, list[Scenario]]:
     """Run ``n_replicas`` seeded replicas of one scenario and merge traces.
 
@@ -230,7 +293,8 @@ def run_scenario_replicas(
     if n_replicas < 1:
         raise ConfigurationError("need at least one replica")
     replicas = monte_carlo(
-        partial(_scenario_replica, name), n_replicas, seed=seed, n_jobs=n_jobs
+        partial(_scenario_replica, name, machine),
+        n_replicas, seed=seed, n_jobs=n_jobs,
     )
     merged = Telemetry()
     for i, replica in enumerate(replicas):

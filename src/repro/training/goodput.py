@@ -11,17 +11,33 @@ that full-machine time-to-solution is a resilience number, not a peak one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.cost import CheckpointCostModel, CostBreakdown, kernels
 from repro.errors import ConfigurationError
 from repro.resilience.faults import DEFAULT_NODE_MTBF_SECONDS
 from repro.resilience.report import ResilienceReport
 from repro.resilience.restart import RestartStats, simulate_checkpoint_restart
-from repro.storage.burst_buffer import SUMMIT_NVME, BurstBuffer
+from repro.storage.burst_buffer import BurstBuffer
 from repro.storage.checkpoint import CheckpointPlan
-from repro.storage.filesystem import SUMMIT_GPFS, SharedFileSystem
+from repro.storage.filesystem import SharedFileSystem
 from repro.training.job import _OPTIMIZER_STATE_BYTES_PER_PARAM, TrainingJob
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine.spec import MachineSpec
+
+
+def _summit_nvme() -> BurstBuffer:
+    from repro.storage.burst_buffer import SUMMIT_NVME
+
+    return SUMMIT_NVME
+
+
+def _summit_gpfs() -> SharedFileSystem:
+    from repro.storage.filesystem import SUMMIT_GPFS
+
+    return SUMMIT_GPFS
 
 #: How much useful work the empirical run simulates, in units of the
 #: job-wide MTBF — enough failures for the rework term to converge.
@@ -47,14 +63,38 @@ class GoodputModel:
     job: TrainingJob
     node_mtbf_seconds: float = DEFAULT_NODE_MTBF_SECONDS
     state_bytes_per_node: float | None = None
-    nvme: BurstBuffer = SUMMIT_NVME
-    shared_fs: SharedFileSystem = SUMMIT_GPFS
+    nvme: BurstBuffer | None = field(default_factory=_summit_nvme)
+    shared_fs: SharedFileSystem = field(default_factory=_summit_gpfs)
 
     def __post_init__(self) -> None:
         if self.node_mtbf_seconds <= 0:
             raise ConfigurationError("node MTBF must be positive")
         if self.state_bytes_per_node is not None and self.state_bytes_per_node <= 0:
             raise ConfigurationError("state size must be positive")
+
+    @classmethod
+    def for_machine(
+        cls,
+        job: TrainingJob,
+        machine: "MachineSpec | str | None" = None,
+        **kwargs,
+    ) -> "GoodputModel":
+        """A goodput model whose storage tiers come from ``machine``
+        (default Summit). Machines without node-local NVMe get
+        ``nvme=None``; the ``"nvme"`` checkpoint tier then raises."""
+        from repro.machine.spec import resolve_machine
+
+        spec = resolve_machine(machine)
+        kwargs.setdefault("nvme", spec.nvme)
+        kwargs.setdefault("shared_fs", spec.shared_fs)
+        return cls(job=job, **kwargs)
+
+    def _require_nvme(self) -> BurstBuffer:
+        if self.nvme is None:
+            raise ConfigurationError(
+                "this machine has no node-local NVMe tier; use tier='shared_fs'"
+            )
+        return self.nvme
 
     # -- checkpoint configuration ----------------------------------------------
 
@@ -76,7 +116,7 @@ class GoodputModel:
     def write_time(self, tier: str = "nvme") -> float:
         plan = self.plan()
         if tier == "nvme":
-            return plan.write_time_nvme(self.nvme)
+            return plan.write_time_nvme(self._require_nvme())
         if tier == "shared_fs":
             return plan.write_time_shared(self.shared_fs)
         raise ConfigurationError(
@@ -88,7 +128,7 @@ class GoodputModel:
 
     def _write_rate(self, tier: str) -> float:
         if tier == "nvme":
-            return self.nvme.write_bandwidth
+            return self._require_nvme().write_bandwidth
         if tier == "shared_fs":
             return kernels.shared_pool_bandwidth(
                 self.shared_fs.aggregate_write_bandwidth,

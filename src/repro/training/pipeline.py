@@ -29,7 +29,8 @@ from repro.machine.gpu import Precision
 from repro.machine.system import System
 from repro.models.base import ModelSpec
 from repro.network.collectives import allreduce_time
-from repro.network.link import NVLINK2, LinkSpec
+from repro.network.link import LinkSpec
+from repro.training.step_time import resolve_intra_node_link
 
 
 @dataclass(frozen=True)
@@ -84,7 +85,7 @@ def pipeline_step(
     n_nodes: int,
     plan: PipelinePlan,
     dp_replicas: int | None = None,
-    stage_link: LinkSpec = NVLINK2,
+    stage_link: LinkSpec | None = None,
     precision: Precision = Precision.MIXED,
 ) -> PipelineBreakdown:
     """Time one optimizer step of pipeline (+ data) parallel training.
@@ -104,7 +105,11 @@ def pipeline_step(
     if replicas < 1 or replicas * plan.stages > n_gpus:
         raise ConfigurationError("replica/stage layout exceeds GPU count")
 
-    link = stage_link if plan.stages <= node.gpu_count else system.interconnect
+    link = (
+        resolve_intra_node_link(system, stage_link)
+        if plan.stages <= node.gpu_count
+        else system.interconnect
+    )
 
     # per-micro-batch compute of one stage (the pipeline's clock period)
     micro_flops = plan.micro_batch_size * model.effective_flops_per_sample

@@ -33,8 +33,20 @@ from repro.cost import CompositeCostModel, step_cost_model
 from repro.machine.gpu import Precision
 from repro.machine.system import System
 from repro.models.base import ModelSpec
-from repro.network.link import NVLINK2, LinkSpec
+from repro.network.link import LinkSpec
 from repro.training.parallelism import DataSource, ParallelismPlan
+
+
+def resolve_intra_node_link(system: System, link: LinkSpec | None) -> LinkSpec:
+    """An explicit link wins; else the system's own intra-node fabric; else
+    Summit's NVLink2 (the historical default, kept for compatibility)."""
+    if link is not None:
+        return link
+    if system.intra_node_link is not None:
+        return system.intra_node_link
+    from repro.network.link import NVLINK2
+
+    return NVLINK2
 
 
 @dataclass(frozen=True)
@@ -85,7 +97,7 @@ def step_cost(
     plan: ParallelismPlan,
     data_source: DataSource = DataSource.NVME,
     precision: Precision = Precision.MIXED,
-    intra_node_link: LinkSpec = NVLINK2,
+    intra_node_link: LinkSpec | None = None,
 ) -> CompositeCostModel:
     """The step-time composite for this configuration, ready to evaluate
     at one node count (``evaluate(n_nodes=...)``) or across a whole grid
@@ -96,7 +108,7 @@ def step_cost(
         plan,
         data_source=data_source,
         precision=precision,
-        intra_node_link=intra_node_link,
+        intra_node_link=resolve_intra_node_link(system, intra_node_link),
     )
 
 
@@ -107,7 +119,7 @@ def step_breakdown(
     plan: ParallelismPlan,
     data_source: DataSource = DataSource.NVME,
     precision: Precision = Precision.MIXED,
-    intra_node_link: LinkSpec = NVLINK2,
+    intra_node_link: LinkSpec | None = None,
 ) -> StepBreakdown:
     """Compute the step-time decomposition for a job configuration."""
     system.require_nodes(n_nodes)

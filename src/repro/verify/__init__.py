@@ -53,6 +53,7 @@ from repro.verify.invariants import (
     audit_workflow_conservation,
     run_invariants,
 )
+from repro.verify.machines import build_machine_registry, run_machine_conformance
 from repro.verify.report import ConformanceReport, run_conformance
 
 __all__ = [
@@ -69,6 +70,7 @@ __all__ = [
     "audit_span_tree",
     "audit_trace_determinism",
     "audit_workflow_conservation",
+    "build_machine_registry",
     "build_registry",
     "checkpoint_replay_parity",
     "expectation_sections",
@@ -76,6 +78,7 @@ __all__ = [
     "run_conformance",
     "run_differentials",
     "run_invariants",
+    "run_machine_conformance",
     "sweep_bit_parity",
     "telemetry_sweep_parity",
     "verdicts_for",

@@ -235,35 +235,56 @@ def audit_scaling_shape(
     )
 
 
-def audit_crossover_shape() -> InvariantResult:
+def audit_crossover_shape(machine=None) -> InvariantResult:
     """Monotone shape of the Section VI-B allreduce crossover surface.
 
     Ring allreduce time must be nondecreasing in message size and in rank
     count; consequently the crossover node count (where comm overtakes a
     fixed compute budget) must be nonincreasing in message size, with NaN
     (never crosses) only ever appearing for *smaller* messages.
+
+    Without ``machine`` this audits Summit's fabric exactly as the pinned
+    conformance battery always has (key ``invariant.crossover_shape``);
+    with a registry name or :class:`~repro.machine.spec.MachineSpec`, the
+    same shape is asserted on that machine's injection link, under a
+    machine-suffixed key.
     """
-    from repro.constants import SUMMIT_INJECTION_LATENCY
     from repro.cost.crossover import crossover_nodes, crossover_sweep
     from repro.network.collectives import ring_allreduce_time
-    from repro.network.link import SUMMIT_INJECTION
+
+    if machine is None:
+        from repro.constants import SUMMIT_INJECTION_LATENCY
+        from repro.network.link import SUMMIT_INJECTION
+
+        key = "invariant.crossover_shape"
+        link = SUMMIT_INJECTION
+        latency = SUMMIT_INJECTION_LATENCY
+        max_ranks = 4096
+    else:
+        from repro.machine.spec import resolve_machine
+
+        spec = resolve_machine(machine)
+        key = f"invariant.crossover_shape.{spec.key}"
+        link = spec.interconnect
+        latency = spec.injection_latency
+        max_ranks = min(4096, spec.node_count)
 
     failures: list[str] = []
 
     sizes = [1e6, 1e7, 1e8, 1e9, 1e10]
-    times = [ring_allreduce_time(64, s, SUMMIT_INJECTION) for s in sizes]
+    times = [ring_allreduce_time(64, s, link) for s in sizes]
     if np.any(np.diff(times) < 0):
         failures.append("ring allreduce time decreases with message size")
     ranks = [2, 4, 16, 64, 256, 1024]
-    times = [ring_allreduce_time(p, 1e8, SUMMIT_INJECTION) for p in ranks]
+    times = [ring_allreduce_time(p, 1e8, link) for p in ranks]
     if np.any(np.diff(times) < 0):
         failures.append("ring allreduce time decreases with rank count")
 
     result = crossover_sweep(
         message_bytes=np.array(sizes),
-        n_ranks=np.arange(2, 4097),
-        bandwidth=SUMMIT_INJECTION.bandwidth,
-        latency=SUMMIT_INJECTION_LATENCY,
+        n_ranks=np.arange(2, max_ranks + 1),
+        bandwidth=link.bandwidth,
+        latency=latency,
         compute_time=0.1,
     )
     nodes = crossover_nodes(result)
@@ -272,7 +293,7 @@ def audit_crossover_shape() -> InvariantResult:
         failures.append("crossover node count grows with message size")
 
     return InvariantResult(
-        key="invariant.crossover_shape",
+        key=key,
         description="allreduce time monotone; crossover nodes nonincreasing "
         "in message size",
         passed=not failures,

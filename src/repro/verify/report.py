@@ -155,6 +155,7 @@ def run_conformance(
     seed: int = 0,
     sections: tuple[str, ...] | list[str] | None = None,
     n_jobs: int = 1,
+    machine=None,
 ) -> ConformanceReport:
     """Run the full conformance battery and return the report.
 
@@ -166,7 +167,23 @@ def run_conformance(
     paper section plus one each for the differential and invariant
     batteries — and reassembles results in registry order, so the report
     (and its JSON bytes) is identical at every worker count.
+
+    ``machine`` selects a registry machine. Summit (the default, also
+    reachable as ``machine="summit"``) runs the full 80-entry paper-pinned
+    battery through the unchanged code path — byte-identical to every
+    earlier release. Any other machine has no paper numbers to pin, so it
+    runs the small structural battery of
+    :func:`repro.verify.machines.run_machine_conformance` instead
+    (``sections`` / ``n_jobs`` do not apply there).
     """
+    if machine is not None:
+        from repro.machine.spec import resolve_machine
+
+        spec = resolve_machine(machine)
+        if spec.key != "summit":
+            from repro.verify.machines import run_machine_conformance
+
+            return run_machine_conformance(spec, seed=seed)
     registry = build_registry()
     if sections is not None:
         wanted = set(sections)
