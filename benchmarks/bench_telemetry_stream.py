@@ -1,0 +1,127 @@
+"""Out-of-core telemetry throughput: spans/second and peak RSS vs in-memory.
+
+The claim behind :mod:`repro.telemetry.stream` is that spilling closed
+records to size-bounded shards makes trace memory *flat* in trace length
+while costing little throughput. Each mode runs in its own subprocess so
+``ru_maxrss`` (a process-lifetime high-water mark) measures that mode
+alone:
+
+- **in-memory** — the default ``Telemetry`` handle accumulating every span;
+- **sharded** — the same span stream spilled through a
+  :class:`~repro.telemetry.stream.ShardedJsonlSink` at the default 4 MiB
+  shard size.
+
+All scalars land in ``BENCH_telemetry_stream.json``. ``REPRO_SMOKE=1``
+shrinks the trace for CI; the sub-linear-RSS assertion (sharded peak RSS
+under half the in-memory peak at a million spans) is only enforced on the
+full run, where the in-memory trace is large enough to dominate the
+interpreter's own footprint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from _record import record
+from conftest import report
+
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
+
+N_SPANS = 20_000 if SMOKE else 1_000_000
+
+#: One synthetic span stream, emitted into either backend. Every tenth
+#: span carries a counter sample so shards hold mixed record types.
+_CHILD = r"""
+import json, resource, sys, time
+
+mode, n_spans, directory = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+from repro.telemetry import Telemetry
+from repro.telemetry.stream import ShardedJsonlSink, shard_paths
+
+sink = None
+if mode == "sharded":
+    sink = ShardedJsonlSink(directory)
+telemetry = Telemetry(sink=sink)
+t0 = time.perf_counter()
+for i in range(n_spans):
+    span = telemetry.begin("step", "bench", facility="f", time=float(i),
+                           attrs={"i": i})
+    if i % 10 == 0:
+        telemetry.sample("nodes", float(i % 8), 8.0, time=float(i),
+                         facility="f")
+    telemetry.end(span, time=float(i) + 0.5)
+telemetry.metrics.counter("bench.spans").inc(n_spans)
+telemetry.close()
+seconds = time.perf_counter() - t0
+print(json.dumps({
+    "seconds": seconds,
+    "maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "n_shards": len(shard_paths(directory)) if mode == "sharded" else 0,
+}))
+"""
+
+
+def _run_mode(mode: str, n_spans: int) -> dict:
+    with tempfile.TemporaryDirectory(prefix="rbench-stream-") as tmp:
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH")) if p
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", _CHILD, mode, str(n_spans),
+             str(Path(tmp) / "shards")],
+            capture_output=True, text=True, env=env, timeout=900,
+        )
+        assert out.returncode == 0, out.stderr[-2000:]
+        return json.loads(out.stdout)
+
+
+def test_streaming_sink_throughput_and_rss():
+    wall0 = time.perf_counter()
+    in_memory = _run_mode("in-memory", N_SPANS)
+    sharded = _run_mode("sharded", N_SPANS)
+    wall = time.perf_counter() - wall0
+
+    mem_rate = N_SPANS / in_memory["seconds"]
+    shard_rate = N_SPANS / sharded["seconds"]
+    rss_ratio = sharded["maxrss_kb"] / in_memory["maxrss_kb"]
+
+    record("telemetry_stream", {
+        "n_spans": N_SPANS,
+        "in_memory_spans_per_second": mem_rate,
+        "sharded_spans_per_second": shard_rate,
+        "in_memory_peak_rss_kb": in_memory["maxrss_kb"],
+        "sharded_peak_rss_kb": sharded["maxrss_kb"],
+        "peak_rss_ratio": rss_ratio,
+        "n_shards": sharded["n_shards"],
+        "throughput_ratio": shard_rate / mem_rate,
+    }, wall_seconds=wall)
+
+    report(
+        f"Telemetry spill — {N_SPANS:,} spans",
+        [
+            ("in-memory", f"{mem_rate:,.0f} spans/s",
+             f"{in_memory['maxrss_kb'] / 1024:.0f} MiB peak"),
+            ("sharded", f"{shard_rate:,.0f} spans/s",
+             f"{sharded['maxrss_kb'] / 1024:.0f} MiB peak "
+             f"({sharded['n_shards']} shards)"),
+        ],
+        header=("backend", "throughput", "peak RSS"),
+    )
+
+    assert sharded["n_shards"] >= 1
+    assert shard_rate > 0 and mem_rate > 0
+    if not SMOKE:
+        # the point of the subsystem: spilling keeps the high-water mark
+        # sub-linear in trace length
+        assert rss_ratio < 0.5, (
+            f"sharded peak RSS {sharded['maxrss_kb']} kB is not sub-linear "
+            f"vs in-memory {in_memory['maxrss_kb']} kB"
+        )

@@ -16,9 +16,15 @@ write-ahead journal in :mod:`repro.service.journal` is built on.
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from pathlib import Path
 
-__all__ = ["atomic_write_bytes", "atomic_write_text", "fsync_dir"]
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_writer",
+    "fsync_dir",
+]
 
 
 def fsync_dir(directory: str | Path) -> None:
@@ -51,6 +57,43 @@ def atomic_write_bytes(
     if fsync:
         fsync_dir(path.parent)
     return path
+
+
+@contextmanager
+def atomic_writer(path: str | Path, fsync: bool = False):
+    """Stream into ``path`` atomically: yields a binary file handle.
+
+    The incremental sibling of :func:`atomic_write_bytes` for writers that
+    cannot (or should not) materialize the whole payload first — JSONL
+    exports, telemetry shards. The handle writes to the temporary sibling;
+    the rename into place happens only when the ``with`` body exits
+    cleanly. On an exception the scratch file is removed and the
+    destination is untouched.
+
+    >>> import tempfile, pathlib
+    >>> p = pathlib.Path(tempfile.mkdtemp()) / "out.jsonl"
+    >>> with atomic_writer(p) as fh:
+    ...     _ = fh.write(b'{"a":1}\\n')
+    ...     _ = fh.write(b'{"b":2}\\n')
+    >>> p.read_text()
+    '{"a":1}\\n{"b":2}\\n'
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            yield fh
+            if fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
+    except BaseException:
+        if tmp.exists():
+            tmp.unlink()
+        raise
+    os.replace(tmp, path)
+    if fsync:
+        fsync_dir(path.parent)
 
 
 def atomic_write_text(

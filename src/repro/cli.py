@@ -18,7 +18,10 @@ Commands mirror the paper's strands:
   surface (``--crossover``);
 - ``telemetry`` — run an instrumented scenario (workflow DAG, batch
   scheduler, or checkpoint-restart job) and export a Perfetto-loadable
-  Chrome trace plus a metrics summary;
+  Chrome trace plus a metrics summary; ``--shard-dir`` spills the records
+  out-of-core to JSONL shards (exports stitched back byte-identically),
+  ``--jsonl-out``/``--metrics-out`` add streaming JSONL and Prometheus
+  exports;
 - ``verify``    — run the paper-parity conformance battery: the full
   expectation registry (every paper-stated number), cross-path
   differential runners and structural invariant audits, with a
@@ -29,6 +32,9 @@ Commands mirror the paper's strands:
 - ``submit``    — bulk-ingest a campaign spec's jobs into a running server;
 - ``campaign-status`` — query a running server (counts, attempts,
   requeues, metrics; ``--results`` dumps the completed result set);
+- ``events``    — tail a running server's live event stream (journal
+  records, telemetry instants, counter samples); ``--follow`` survives
+  server restarts with exactly-once journal delivery;
 - ``work``      — run a worker loop (acquire leases, heartbeat, compute,
   complete) against a running server.
 
@@ -337,13 +343,38 @@ def _cache_note(cache) -> str:
 
 
 def _cmd_telemetry(args: argparse.Namespace) -> int:
-    from repro.telemetry import chrome_trace, summary, write_chrome_trace
+    from repro.telemetry import (
+        ShardedJsonlSink,
+        chrome_trace,
+        load_shards,
+        shard_paths,
+        summary,
+        write_chrome_trace,
+        write_jsonl,
+    )
     from repro.telemetry.scenarios import run_scenario, run_scenario_replicas
 
+    sink = None
+    if args.shard_dir:
+        from repro.telemetry import DEFAULT_SHARD_MAX_BYTES
+
+        # Out-of-core mode: records spill to JSONL shards as they close;
+        # the exports below are stitched back from the shards and are
+        # byte-identical to the in-memory run (the streaming-identity
+        # invariant in `repro verify` pins exactly this).
+        sink = ShardedJsonlSink(
+            args.shard_dir,
+            shard_max_bytes=(
+                args.shard_bytes if args.shard_bytes is not None
+                else DEFAULT_SHARD_MAX_BYTES
+            ),
+        )
+    elif args.shard_bytes is not None:
+        raise errors.ConfigurationError("--shard-bytes requires --shard-dir")
     if args.replicas > 1:
         tel, replicas = run_scenario_replicas(
             args.scenario, args.replicas, seed=args.seed, n_jobs=args.jobs,
-            machine=args.machine,
+            machine=args.machine, sink=sink,
         )
         results = [r.results for r in replicas]
         report_lines = []
@@ -355,14 +386,25 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         name = replicas[0].name
     else:
         scenario = run_scenario(
-            args.scenario, seed=args.seed, machine=args.machine
+            args.scenario, seed=args.seed, machine=args.machine, sink=sink,
         )
         tel = scenario.telemetry
         results = scenario.results
         report_lines = scenario.report_lines
         name = scenario.name
+    n_shards = 0
+    if sink is not None:
+        tel.close()
+        n_shards = len(shard_paths(args.shard_dir))
+        tel = load_shards(args.shard_dir)
     if args.out:
         write_chrome_trace(tel, args.out)
+    if args.jsonl_out:
+        write_jsonl(tel, args.jsonl_out)
+    if args.metrics_out:
+        from repro.atomicio import atomic_write_text
+
+        atomic_write_text(args.metrics_out, tel.metrics.render_prometheus())
     if args.json:
         import json
 
@@ -379,6 +421,9 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
             "results": results,
             "metrics": tel.metrics.as_dict(),
         }
+        if args.shard_dir:
+            payload["shard_dir"] = args.shard_dir
+            payload["n_shards"] = n_shards
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     print(
@@ -391,10 +436,56 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         print(f"  {line}")
     print()
     print(summary(tel))
+    if args.shard_dir:
+        print()
+        print(f"telemetry spilled to {n_shards} shard(s) under "
+              f"{args.shard_dir} (exports stitched from shards)")
     if args.out:
         print()
         print(f"Chrome trace written to {args.out} "
               "(load in Perfetto / chrome://tracing)")
+    if args.jsonl_out:
+        print(f"JSONL records written to {args.jsonl_out}")
+    if args.metrics_out:
+        print(f"Prometheus metrics written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    """Tail (or catch up on) a running campaign server's event stream."""
+    import json
+
+    client = _service_client(args)
+
+    def emit(frame) -> None:
+        if args.json:
+            print(json.dumps(frame.to_wire(), sort_keys=True,
+                             separators=(",", ":")), flush=True)
+        else:
+            payload = frame.payload
+            label = payload.get("type", payload.get("name", "?"))
+            detail = payload.get("job_id") or payload.get("resource") or ""
+            print(f"[{frame.topic} #{frame.seq}] {label}"
+                  + (f" {detail}" if detail else ""), flush=True)
+
+    if args.follow:
+        n = 0
+        for frame in client.follow(
+            args.topic, since_seq=args.since_seq, give_up_s=args.give_up,
+        ):
+            emit(frame)
+            n += 1
+        if not args.json:
+            print(f"stream ended after {n} frame(s): campaign drained")
+        return 0
+    frames = client.events(
+        args.topic, since_seq=args.since_seq, max_frames=args.max_frames
+    )
+    for frame in frames:
+        emit(frame)
+    if not args.json:
+        print(f"{len(frames)} frame(s) on {args.topic!r} after "
+              f"seq {args.since_seq}")
     return 0
 
 
@@ -677,6 +768,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, metavar="TRACE_JSON",
                    help="write the Chrome trace-event file here "
                         "(load in Perfetto / chrome://tracing)")
+    p.add_argument("--jsonl-out", default=None, metavar="RECORDS_JSONL",
+                   help="also stream the JSONL record export here "
+                        "(bounded memory, byte-identical to to_jsonl)")
+    p.add_argument("--metrics-out", default=None, metavar="PROM_TXT",
+                   help="also write the metrics registry in Prometheus "
+                        "text exposition format")
+    p.add_argument("--shard-dir", default=None, metavar="DIR",
+                   help="spill telemetry out-of-core to JSONL shards in "
+                        "DIR as records close; exports are stitched back "
+                        "from the shards, byte-identical to in-memory")
+    p.add_argument("--shard-bytes", type=int, default=None, metavar="N",
+                   help="shard rotation threshold in bytes "
+                        "(default 4 MiB; requires --shard-dir)")
     p.add_argument("--replicas", type=int, default=1,
                    help="run N seeded replicas and merge their traces "
                         "into one (default 1)")
@@ -735,6 +839,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also fetch the completed result set")
     p.add_argument("--json", action="store_true")
     p.set_defaults(fn=_cmd_campaign_status)
+
+    p = sub.add_parser(
+        "events",
+        help="tail a running campaign server's live event stream",
+    )
+    p.add_argument("--socket", required=True, metavar="PATH")
+    p.add_argument("--topic", default="journal",
+                   choices=("journal", "spans", "events", "counters"),
+                   help="journal (durable, exactly-once across restarts) "
+                        "or a live telemetry topic (ring-buffered)")
+    p.add_argument("--since-seq", type=int, default=0, metavar="SEQ",
+                   help="start after this sequence number (0 = everything)")
+    p.add_argument("--follow", action="store_true",
+                   help="stay subscribed until the campaign drains, "
+                        "reconnecting across server restarts")
+    p.add_argument("--max-frames", type=int, default=1000,
+                   help="catch-up frame cap (ignored with --follow)")
+    p.add_argument("--give-up", type=float, default=30.0, metavar="SECONDS",
+                   help="with --follow: abandon after this long of "
+                        "continuous server unreachability")
+    p.add_argument("--timeout", type=float, default=10.0,
+                   help="per-request / frame-silence timeout in seconds")
+    p.add_argument("--json", action="store_true",
+                   help="emit one wire frame per line (machine-readable)")
+    p.set_defaults(fn=_cmd_events)
 
     p = sub.add_parser(
         "work",

@@ -370,6 +370,8 @@ class Scheduler:
             gauges.counter(
                 "scheduler.delivered_node_seconds"
             ).inc(busy)
+            # end-of-run is a quiescent point: push partial shards to disk
+            telemetry.flush()
         return result
 
     @staticmethod

@@ -19,7 +19,10 @@ Modules:
   serving and replay;
 - :mod:`repro.service.server` — the asyncio unix-socket server
   (backpressure, lease sweeper, graceful drain, telemetry);
-- :mod:`repro.service.client` — the typed sync client (timeouts, backoff);
+- :mod:`repro.service.pubsub` — live event streaming (versioned
+  length-prefixed frames, per-topic seqs, bounded subscriber queues);
+- :mod:`repro.service.client` — the typed sync client (timeouts, backoff,
+  ``subscribe``/``follow`` live event streams);
 - :mod:`repro.service.worker` — the lease/heartbeat/complete worker loop;
 - :mod:`repro.service.handlers` — deterministic job handlers;
 - :mod:`repro.service.chaos` — the seeded fault-injection harness.
@@ -37,6 +40,17 @@ from repro.service.chaos import (
 from repro.service.client import ServiceClient
 from repro.service.handlers import HANDLERS, run_job
 from repro.service.journal import Journal, JournalReplay, read_journal
+from repro.service.pubsub import (
+    FRAME_VERSION,
+    Frame,
+    HubSink,
+    PubSubHub,
+    TOPICS,
+    decode_frame,
+    encode_frame,
+    eos_frame,
+    read_frame,
+)
 from repro.service.server import CampaignServer, serve
 from repro.service.spec import CampaignSpec, JobSpec, drug_campaign
 from repro.service.state import CampaignState, JobRecord
@@ -48,16 +62,25 @@ __all__ = [
     "CampaignState",
     "ChaosOutcome",
     "ChaosPlan",
+    "FRAME_VERSION",
+    "Frame",
     "HANDLERS",
+    "HubSink",
     "JobRecord",
     "JobSpec",
     "Journal",
     "JournalReplay",
+    "PubSubHub",
     "ServiceClient",
+    "TOPICS",
     "WorkerChaos",
     "chaos_campaign",
+    "decode_frame",
     "drug_campaign",
+    "encode_frame",
+    "eos_frame",
     "expected_results",
+    "read_frame",
     "read_journal",
     "run_chaos_campaign",
     "run_job",

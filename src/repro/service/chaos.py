@@ -239,6 +239,9 @@ class ChaosOutcome:
     tails_torn: int = 0
     workers_replaced: int = 0
     log_paths: list[str] = field(default_factory=list)
+    #: Wire frames a live ``events --follow`` subscriber saw across every
+    #: server kill/restart (populated when ``tail_events=True``).
+    events: list[dict[str, Any]] = field(default_factory=list)
 
     @property
     def results_json(self) -> str:
@@ -276,6 +279,7 @@ class _Procs:
         self.env = env
         self.server: subprocess.Popen | None = None
         self.workers: dict[str, subprocess.Popen] = {}
+        self.follower: subprocess.Popen | None = None
         self.logs: list[Path] = []
 
     def _spawn(self, args: list[str], log_name: str) -> subprocess.Popen:
@@ -297,6 +301,26 @@ class _Procs:
             "server.log",
         )
 
+    def start_follower(self, give_up_s: float) -> Path:
+        """A live ``events --follow`` subscriber; frames go to events.jsonl.
+
+        stdout carries the JSON frame stream only (stderr goes to its own
+        log), and the process is expected to ride out every server SIGKILL
+        by reconnecting and resubscribing from the last seq it saw.
+        """
+        out = self.workdir / "events.jsonl"
+        err = self.workdir / "follower.log"
+        self.logs.append(err)
+        with open(out, "wb") as out_fh, open(err, "ab") as err_fh:
+            self.follower = subprocess.Popen(
+                [sys.executable, "-m", "repro.cli", "events",
+                 "--socket", str(self.socket_path), "--follow", "--json",
+                 "--give-up", str(give_up_s)],
+                stdout=out_fh, stderr=err_fh, env=self.env,
+                cwd=str(self.workdir),
+            )
+        return out
+
     def kill_server(self) -> None:
         if self.server is not None and self.server.poll() is None:
             self.server.send_signal(signal.SIGKILL)
@@ -312,7 +336,7 @@ class _Procs:
         self.workers[session] = self._spawn(args, f"{session}.log")
 
     def reap(self) -> None:
-        for proc in [self.server, *self.workers.values()]:
+        for proc in [self.server, self.follower, *self.workers.values()]:
             if proc is not None and proc.poll() is None:
                 proc.kill()
                 proc.wait(timeout=10)
@@ -323,6 +347,7 @@ def run_chaos_campaign(
     plan: ChaosPlan,
     workdir: str | Path,
     deadline_s: float = 90.0,
+    tail_events: bool = False,
 ) -> ChaosOutcome:
     """Drive ``spec`` through real subprocesses under ``plan``'s faults.
 
@@ -332,6 +357,12 @@ def run_chaos_campaign(
     journal; replaces killed workers with clean ones. Returns once every
     job is DONE or FAILED, with the final result set fetched from the
     recovered server.
+
+    ``tail_events`` additionally runs a live ``events --follow`` subscriber
+    for the whole campaign — including across the server SIGKILLs — and
+    returns the frames it saw in ``outcome.events``. The crash tests assert
+    that stream is gap-free and seq-ordered: the exactly-once claim of the
+    disk-backed journal topic, exercised by real kills.
     """
     workdir = Path(workdir)
     workdir.mkdir(parents=True, exist_ok=True)
@@ -348,9 +379,12 @@ def run_chaos_campaign(
     kills_pending = list(plan.server_kill_after_done)
     tears_pending = list(plan.tear_tail_after_kill)
     deadline = time.time() + deadline_s
+    events_path: Path | None = None
     try:
         procs.start_server(spec_path, journal_dir)
         client.wait_ready(timeout_s=30.0)
+        if tail_events:
+            events_path = procs.start_follower(give_up_s=deadline_s)
         for i in range(plan.n_workers):
             procs.start_worker(f"chaos-w{i}", plan_path, i)
         while True:
@@ -397,7 +431,16 @@ def run_chaos_campaign(
         client.drain()
         if procs.server is not None:
             procs.server.wait(timeout=15)
+        if procs.follower is not None:
+            # The drain frame then end-of-stream reach the follower; it
+            # must exit on its own, not be reaped.
+            procs.follower.wait(timeout=30)
     finally:
         procs.reap()
         outcome.log_paths = [str(p) for p in procs.logs]
+    if events_path is not None and events_path.exists():
+        outcome.events = [
+            json.loads(line)
+            for line in events_path.read_text().splitlines() if line
+        ]
     return outcome

@@ -34,6 +34,7 @@ import repro.errors as _errors
 from repro.errors import ProtocolError, ReproError, Saturated, ServiceError
 from repro.resilience.retry import RetryPolicy
 
+from repro.service.pubsub import Frame, read_frame
 from repro.service.spec import CampaignSpec, JobSpec
 
 __all__ = ["ServiceClient", "DEFAULT_CLIENT_POLICY"]
@@ -190,6 +191,121 @@ class ServiceClient:
 
     def drain(self) -> None:
         self.request("drain")
+
+    # -- live event streaming ------------------------------------------------------
+
+    def events(
+        self, topic: str = "journal", since_seq: int = 0,
+        max_frames: int = 1000,
+    ) -> list[Frame]:
+        """One-shot catch-up: backlog frames after ``since_seq``, no tail."""
+        response = self.request(
+            "events", topic=topic, since_seq=since_seq,
+            max_frames=max_frames,
+        )
+        return [
+            Frame(topic=w["topic"], seq=int(w["seq"]), payload=w["payload"])
+            for w in response["frames"]
+        ]
+
+    def subscribe(
+        self, topic: str = "journal", since_seq: int = 0,
+        timeout_s: float | None = None,
+    ):
+        """Yield frames from one live subscription until the stream ends.
+
+        One connection, one generator: the backlog (``seq > since_seq``)
+        streams first, then live frames, ending when the server announces
+        a clean end with its seq-0 eos control frame (campaign drained).
+        A bare EOF without the eos means the connection was severed
+        (server killed mid-stream) and raises ``ConnectionResetError`` —
+        the caller decides whether to :meth:`follow` across that.
+        ``timeout_s`` bounds the silence between frames, not the
+        subscription lifetime.
+        """
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(
+                self.timeout_s if timeout_s is None else timeout_s
+            )
+            sock.connect(self.socket_path)
+            sock.sendall(
+                json.dumps(
+                    {"op": "subscribe", "topic": topic,
+                     "since_seq": since_seq},
+                    sort_keys=True, separators=(",", ":"),
+                ).encode("utf-8") + b"\n"
+            )
+            with sock.makefile("rb") as fh:
+                ack_line = fh.readline()
+                if not ack_line:
+                    raise ConnectionResetError(
+                        "server closed the connection"
+                    )
+                ack = json.loads(ack_line.decode("utf-8"))
+                if not ack.get("ok", False):
+                    _raise_error(ack)
+                while True:
+                    frame = read_frame(fh)
+                    if frame is None:
+                        raise ConnectionResetError(
+                            "event stream severed before end-of-stream"
+                        )
+                    if frame.is_eos:
+                        return
+                    yield frame
+
+    def follow(
+        self, topic: str = "journal", since_seq: int = 0,
+        timeout_s: float | None = None, give_up_s: float = 30.0,
+    ):
+        """Like :meth:`subscribe`, but survives server death and restart.
+
+        Reconnects (with backoff, up to ``give_up_s`` of continuous
+        unreachability) and resubscribes from the last frame seen, so the
+        yielded stream is **exactly-once in seq order** for the durable
+        ``journal`` topic — duplicates are dropped by seq, gaps are
+        repaired by resubscribing from disk-backed backlog. For the
+        ring-buffered telemetry topics a gap that has aged out of the ring
+        is unrecoverable and is simply skipped (still in order, never
+        duplicated). Ends when the server drains cleanly.
+        """
+        last = since_seq
+        down_since: float | None = None
+        while True:
+            try:
+                resubscribe = False
+                for frame in self.subscribe(
+                    topic, since_seq=last, timeout_s=timeout_s
+                ):
+                    down_since = None
+                    if frame.seq <= last:
+                        continue  # duplicate across a reconnect
+                    if topic == "journal" and frame.seq != last + 1:
+                        # A drop under backpressure: the WAL on disk has
+                        # the gap — resubscribe and replay it.
+                        resubscribe = True
+                        break
+                    last = frame.seq
+                    yield frame
+                if not resubscribe:
+                    return  # in-band eos frame: the campaign drained
+            except (socket.timeout, TimeoutError, Saturated):
+                # Reachable but quiet (or shedding load): the server took
+                # the subscription, there just were no frames. Not
+                # downtime — resubscribe without touching the give-up
+                # timer.
+                down_since = None
+                time.sleep(0.1)
+            except _TRANSIENT:
+                now = time.time()
+                if down_since is None:
+                    down_since = now
+                elif now - down_since >= give_up_s:
+                    raise ServiceError(
+                        f"event stream from {self.socket_path} "
+                        f"unreachable for {give_up_s:.1f}s"
+                    )
+                time.sleep(0.1)
 
     def wait_finished(
         self, timeout_s: float = 60.0, poll_s: float = 0.1

@@ -49,6 +49,15 @@ from repro.exec.cache import ResultCache, content_key
 from repro.telemetry import Telemetry
 
 from repro.service.journal import Journal, read_journal
+from repro.service.pubsub import (
+    Frame,
+    HubSink,
+    PubSubHub,
+    TOPICS,
+    encode_frame,
+    eos_frame,
+    frames_from_journal,
+)
 from repro.service.spec import CampaignSpec, JobSpec
 from repro.service.state import CampaignState, DONE, FAILED, LEASED, PENDING
 
@@ -93,6 +102,12 @@ class CampaignServer:
         self.journal = Journal(
             self.journal_dir, fsync=fsync, metrics=self.telemetry.metrics
         )
+        # The live observability plane: every committed journal record and
+        # every closed telemetry record fans out to socket subscribers.
+        self.hub = PubSubHub(
+            metrics=self.telemetry.metrics, history=spec.event_history
+        )
+        self.telemetry.add_tap(HubSink(self.hub))
         self.state = CampaignState(spec)
         self.recovered = False
         self._server: asyncio.AbstractServer | None = None
@@ -109,7 +124,11 @@ class CampaignServer:
         # the caller acks only after the fsync returns.
         record = {"type": type, **payload}
         self.state.apply(record)
-        self.journal.append_commit(type, **payload)
+        journaled = self.journal.append_commit(type, **payload)
+        # Publish strictly after the fsync: a subscriber never sees a
+        # record that a crash could still un-happen, so the live stream's
+        # seq numbering is the journal's and survives SIGKILL exactly-once.
+        self.hub.publish("journal", journaled, seq=journaled["seq"])
         return record
 
     def _count(self, name: str, amount: float = 1.0) -> None:
@@ -247,15 +266,20 @@ class CampaignServer:
                     break
                 if not line:
                     break
-                response = self._dispatch(line)
+                response, stream = self._dispatch(line)
                 writer.write(response)
                 await writer.drain()
+                if stream is not None:
+                    # The connection is now a one-way event stream; it
+                    # never goes back to request/response.
+                    await self._pump(writer, *stream)
+                    break
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
             writer.close()
 
-    def _dispatch(self, line: bytes) -> bytes:
+    def _dispatch(self, line: bytes) -> tuple[bytes, tuple | None]:
         try:
             try:
                 request = json.loads(line.decode("utf-8"))
@@ -271,10 +295,44 @@ class CampaignServer:
             with self.telemetry.span(f"op:{op}", "service",
                                      facility="service"):
                 payload = handler(request)
-            return _json_bytes({"ok": True, **payload})
+            stream = payload.pop("_stream", None)
+            return _json_bytes({"ok": True, **payload}), stream
         except ReproError as exc:
             self._count("service.errors")
-            return _error_bytes(exc)
+            return _error_bytes(exc), None
+
+    async def _pump(
+        self,
+        writer: asyncio.StreamWriter,
+        token: int | None,
+        topic: str,
+        backlog: list[Frame],
+        queue: "asyncio.Queue[Frame | None]" | None,
+    ) -> None:
+        """Write a subscriber's backlog, then live frames until the hub
+        closes (``None`` sentinel) or the subscriber hangs up. A clean end
+        is announced in-band with the seq-0 :func:`eos_frame`, so clients
+        can tell a drained campaign from a severed connection. A ``None``
+        queue means backlog-only (subscribing during drain): no live tail
+        is coming, so the eos follows the backlog immediately."""
+        try:
+            for frame in backlog:
+                writer.write(encode_frame(frame))
+            await writer.drain()
+            if queue is not None:
+                while True:
+                    frame = await queue.get()
+                    if frame is None:
+                        break
+                    writer.write(encode_frame(frame))
+                    await writer.drain()
+            writer.write(encode_frame(eos_frame(topic)))
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            if token is not None:
+                self.hub.unsubscribe(token)
 
     # -- ops -----------------------------------------------------------------------
 
@@ -387,11 +445,74 @@ class CampaignServer:
                 job_id for job_id, job in self.state.jobs.items()
                 if job.state == FAILED
             ),
+            "journal_seq": self.journal.last_seq,
+            "event_seqs": {t: self.hub.last_seq(t) for t in TOPICS},
             "metrics": self.telemetry.metrics.as_dict(),
         }
 
     def _op_results(self, request: dict) -> dict:
         return {"results": self.state.results()}
+
+    # -- event streaming ------------------------------------------------------------
+
+    def _topic_backlog(self, topic: str, since_seq: int) -> list[Frame]:
+        """Frames a new reader catches up on. ``journal`` reads the WAL on
+        disk (durable, complete — this is what makes reconnect-with-
+        ``since_seq`` exactly-once across SIGKILL); other topics serve the
+        bounded in-memory ring, which may have aged frames out."""
+        if topic == "journal":
+            return frames_from_journal(
+                read_journal(self.journal_dir).records, since_seq
+            )
+        return self.hub.backlog(topic, since_seq)
+
+    def _op_subscribe(self, request: dict) -> dict:
+        topic = str(request.get("topic", "journal"))
+        if topic not in TOPICS:
+            raise ProtocolError(
+                f"unknown event topic {topic!r}; choose from {list(TOPICS)}"
+            )
+        since_seq = int(request.get("since_seq", 0))
+        if self._draining:
+            # No live tail is coming: serve the remaining backlog (for the
+            # journal topic that includes the drain record itself) and end
+            # the stream cleanly so a reconnecting follower still catches
+            # up instead of being rejected into its give-up timer.
+            token: int | None = None
+            queue: "asyncio.Queue[Frame | None]" | None = None
+            backlog = self._topic_backlog(topic, since_seq)
+        else:
+            # subscribe() and the backlog read happen synchronously between
+            # awaits, so every frame is in exactly one of backlog or queue.
+            token, ring_backlog, queue = self.hub.subscribe(topic, since_seq)
+            backlog = (
+                self._topic_backlog(topic, since_seq)
+                if topic == "journal" else ring_backlog
+            )
+        self._count("service.subscriptions")
+        return {
+            "topic": topic,
+            "since_seq": since_seq,
+            "backlog": len(backlog),
+            "last_seq": self.hub.last_seq(topic),
+            "_stream": (token, topic, backlog, queue),
+        }
+
+    def _op_events(self, request: dict) -> dict:
+        """One-shot catch-up: backlog frames, no live tail."""
+        topic = str(request.get("topic", "journal"))
+        if topic not in TOPICS:
+            raise ProtocolError(
+                f"unknown event topic {topic!r}; choose from {list(TOPICS)}"
+            )
+        since_seq = int(request.get("since_seq", 0))
+        limit = int(request.get("max_frames", 1000))
+        backlog = self._topic_backlog(topic, since_seq)[:max(0, limit)]
+        return {
+            "topic": topic,
+            "frames": [f.to_wire() for f in backlog],
+            "last_seq": self.hub.last_seq(topic),
+        }
 
     def _op_drain(self, request: dict) -> dict:
         asyncio.get_running_loop().create_task(self.drain())
@@ -410,6 +531,9 @@ class CampaignServer:
         if self._sweeper is not None:
             self._sweeper.cancel()
         self._commit("drain", at=time.time())
+        # Close the hub *after* the drain record published: every live
+        # subscriber sees the drain frame, then end-of-stream.
+        self.hub.close()
         self.journal.close()
         try:
             from repro.telemetry import write_chrome_trace

@@ -80,6 +80,9 @@ class CampaignSpec:
     backoff_base_s: float = 0.05
     backoff_max_s: float = 5.0
     deadline_s: float | None = None
+    #: Ring-buffer depth per live event topic (journal backlog is disk-backed
+    #: and unaffected; this bounds spans/events/counters catch-up only).
+    event_history: int = 4096
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -95,6 +98,8 @@ class CampaignSpec:
             )
         if self.max_pending < 1:
             raise ConfigurationError("max_pending must be >= 1")
+        if self.event_history < 1:
+            raise ConfigurationError("event_history must be >= 1")
         seen: set[str] = set()
         for job in self.jobs:
             if job.job_id in seen:
@@ -129,6 +134,7 @@ class CampaignSpec:
         known = {
             "lease_timeout_s", "heartbeat_interval_s", "max_pending",
             "max_attempts", "backoff_base_s", "backoff_max_s", "deadline_s",
+            "event_history",
         }
         kwargs = {k: data[k] for k in known if k in data and data[k] is not None}
         return cls(

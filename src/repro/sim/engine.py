@@ -164,23 +164,31 @@ class Engine:
         interrupt are discarded lazily as they surface (never re-popped
         eagerly), and an entry beyond ``until`` is pushed back once — the
         rare case — instead of peeking the heap top on every iteration.
+
+        Leaving the loop — even on an exception — flushes any telemetry
+        sink: a run boundary is a quiescent point, so spilled shards reach
+        disk without waiting for the handle to be closed.
         """
         heap = self._heap
-        while heap:
-            entry = heapq.heappop(heap)
-            when, _, epoch, proc, send_value = entry
-            if epoch != proc._epoch:  # cancelled by an interrupt
-                continue
-            if until is not None and when > until:
-                heapq.heappush(heap, entry)
-                self.now = until
-                return
-            if when < self.now:
-                raise SimulationError("event scheduled in the past")
-            self.now = when
-            self._step(proc, send_value)
-        if until is not None:
-            self.now = max(self.now, until)
+        try:
+            while heap:
+                entry = heapq.heappop(heap)
+                when, _, epoch, proc, send_value = entry
+                if epoch != proc._epoch:  # cancelled by an interrupt
+                    continue
+                if until is not None and when > until:
+                    heapq.heappush(heap, entry)
+                    self.now = until
+                    return
+                if when < self.now:
+                    raise SimulationError("event scheduled in the past")
+                self.now = when
+                self._step(proc, send_value)
+            if until is not None:
+                self.now = max(self.now, until)
+        finally:
+            if self.telemetry is not None:
+                self.telemetry.flush()
 
     def _step(self, proc: Process, send_value: Any) -> None:
         if proc.finished:

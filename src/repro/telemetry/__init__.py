@@ -21,6 +21,7 @@ from repro.telemetry.export import (
     summary,
     to_jsonl,
     write_chrome_trace,
+    write_jsonl,
 )
 from repro.telemetry.metrics import (
     DEFAULT_SECONDS_EDGES,
@@ -30,23 +31,41 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
 )
 from repro.telemetry.spans import CounterSample, InstantEvent, Span
-from repro.telemetry.timeline import UtilizationTimeline
+from repro.telemetry.stream import (
+    DEFAULT_SHARD_MAX_BYTES,
+    ShardAggregator,
+    ShardedJsonlSink,
+    SpanSink,
+    iter_shard_records,
+    load_shards,
+    shard_paths,
+)
+from repro.telemetry.timeline import UtilizationAccumulator, UtilizationTimeline
 
 __all__ = [
     "DEFAULT_MAX_NODE_TRACKS",
     "DEFAULT_SECONDS_EDGES",
+    "DEFAULT_SHARD_MAX_BYTES",
     "Counter",
     "CounterSample",
     "Gauge",
     "Histogram",
     "InstantEvent",
     "MetricsRegistry",
+    "ShardAggregator",
+    "ShardedJsonlSink",
     "Span",
+    "SpanSink",
     "Telemetry",
+    "UtilizationAccumulator",
     "UtilizationTimeline",
     "chrome_trace",
     "chrome_trace_json",
+    "iter_shard_records",
+    "load_shards",
+    "shard_paths",
     "summary",
     "to_jsonl",
     "write_chrome_trace",
+    "write_jsonl",
 ]

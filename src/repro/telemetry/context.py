@@ -17,11 +17,18 @@ The clock is a zero-argument callable; the discrete-event engine binds
 Wall-clock instrumentation (cost-sweep stage timing) passes explicit
 ``perf_counter`` offsets instead — keep simulated and wall traces in
 separate handles.
+
+Storage is pluggable (PR 8): by default closed records accumulate in the
+in-memory lists exactly as always, but a ``sink`` (any
+:class:`~repro.telemetry.stream.SpanSink`, e.g. the sharded JSONL spiller)
+replaces the lists entirely — records stream out as they close and the
+handle stays O(1) in memory. ``add_tap`` registers *observers* that see
+every closed record in both modes without changing where records live —
+the live pubsub hub in :mod:`repro.service` is a tap.
 """
 
 from __future__ import annotations
 
-import itertools
 from contextlib import contextmanager
 from typing import Any, Callable
 
@@ -43,27 +50,74 @@ class Telemetry:
         self,
         clock: Callable[[], float] | None = None,
         max_node_tracks: int = DEFAULT_MAX_NODE_TRACKS,
+        sink=None,
     ):
         self.clock = clock
         self.max_node_tracks = max_node_tracks
+        self.sink = sink
         self.spans: list[Span] = []
         self.instants: list[InstantEvent] = []
         self.samples: list[CounterSample] = []
         self.metrics = MetricsRegistry()
-        self._ids = itertools.count(1)
+        self._taps: list[Any] = []
+        self._next_id = 1
 
     # -- pickling (handles cross process boundaries in the exec fabric) -----------
 
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
-        state["clock"] = None  # clocks are process-local callables
-        state["_ids"] = max((s.span_id for s in self.spans), default=0) + 1
+        # Clocks, sinks and taps are process-local (callables, open files,
+        # live hubs); a handle crossing a process boundary carries records
+        # and metrics only.
+        state["clock"] = None
+        state["sink"] = None
+        state["_taps"] = []
+        state["_next_id"] = max(
+            (s.span_id for s in self.spans), default=0
+        ) + 1
         return state
 
-    def __setstate__(self, state: dict) -> None:
-        next_id = state.pop("_ids")
-        self.__dict__.update(state)
-        self._ids = itertools.count(next_id)
+    # -- sinks and taps ------------------------------------------------------------
+
+    @property
+    def spilling(self) -> bool:
+        """True when closed records stream to a sink instead of the lists."""
+        return self.sink is not None
+
+    def add_tap(self, tap) -> None:
+        """Register an observer for every closed span/instant/sample.
+
+        Taps never change where records are stored — they run in both
+        in-memory and sink mode, in registration order, synchronously at
+        record time.
+        """
+        self._taps.append(tap)
+
+    def flush(self) -> None:
+        """Flush the sink (a no-op for in-memory handles).
+
+        Instrumented loops call this at quiescent points (end of an engine
+        run) so partial shards reach disk without waiting for close.
+        """
+        if self.sink is not None:
+            self.sink.flush()
+
+    def close(self) -> None:
+        """Finalize the sink: spill the metrics registry and seal the shards.
+
+        Idempotent; in-memory handles ignore it. After close a sink-backed
+        handle accepts no further records.
+        """
+        if self.sink is not None:
+            self.sink.close(self.metrics)
+
+    def _guard_materialized(self, what: str) -> None:
+        if self.sink is not None:
+            raise ConfigurationError(
+                f"{what} is unavailable on a sink-backed handle — records "
+                "were spilled; aggregate from the shards instead "
+                "(repro.telemetry.stream)"
+            )
 
     # -- clock -------------------------------------------------------------------
 
@@ -89,7 +143,7 @@ class Telemetry:
     ) -> Span:
         """Open a span; pass the returned handle to :meth:`end`."""
         span = Span(
-            span_id=next(self._ids),
+            span_id=self._next_id,
             name=name,
             category=category,
             start=self.now() if time is None else time,
@@ -98,7 +152,9 @@ class Telemetry:
             parent_id=parent.span_id if parent is not None else None,
             attrs=dict(attrs),
         )
-        self.spans.append(span)
+        self._next_id += 1
+        if self.sink is None:
+            self.spans.append(span)
         return span
 
     def end(self, span: Span, time: float | None = None, **attrs: Any) -> Span:
@@ -111,6 +167,10 @@ class Telemetry:
                 f"span {span.name!r} ends before it starts"
             )
         span.attrs.update(attrs)
+        if self.sink is not None:
+            self.sink.emit_span(span)
+        for tap in self._taps:
+            tap.emit_span(span)
         return span
 
     @contextmanager
@@ -135,6 +195,7 @@ class Telemetry:
             self.end(span)
 
     def finished_spans(self, category: str | None = None) -> list[Span]:
+        self._guard_materialized("finished_spans")
         return [
             s for s in self.spans
             if s.finished and (category is None or s.category == category)
@@ -160,7 +221,12 @@ class Telemetry:
             track=track,
             attrs=dict(attrs),
         )
-        self.instants.append(event)
+        if self.sink is None:
+            self.instants.append(event)
+        else:
+            self.sink.emit_instant(event)
+        for tap in self._taps:
+            tap.emit_instant(event)
         return event
 
     def sample(
@@ -173,15 +239,19 @@ class Telemetry:
         time: float | None = None,
     ) -> None:
         """Record one occupancy/queue-depth sample for a counter track."""
-        self.samples.append(
-            CounterSample(
-                time=self.now() if time is None else time,
-                resource=resource,
-                value=value,
-                capacity=capacity,
-                facility=facility,
-            )
+        sample = CounterSample(
+            time=self.now() if time is None else time,
+            resource=resource,
+            value=value,
+            capacity=capacity,
+            facility=facility,
         )
+        if self.sink is None:
+            self.samples.append(sample)
+        else:
+            self.sink.emit_sample(sample)
+        for tap in self._taps:
+            tap.emit_sample(sample)
 
     # -- shard merging -----------------------------------------------------------
 
@@ -206,12 +276,25 @@ class Telemetry:
         replica re-runs the same simulated timeline, so without distinct
         resource names their occupancy samples would interleave
         non-monotonically (and their Perfetto tracks would overlap).
+
+        Sink-aware: when *this* handle spills to a sink, the absorbed
+        shard's finished spans, instants and samples are emitted straight
+        to the sink (and taps) instead of the lists — the shard-merge path
+        the exec fabric's replica ensembles ride stays O(1) in merged-trace
+        memory. The absorbed handle itself must be in-memory (its records
+        have to be readable to merge).
         """
         import dataclasses
 
+        if other.sink is not None:
+            raise ConfigurationError(
+                "cannot absorb a sink-backed handle — its records were "
+                "spilled; merge its shard files instead"
+            )
         mapping: dict[int, int] = {}
         for span in other.spans:
-            new_id = next(self._ids)
+            new_id = self._next_id
+            self._next_id += 1
             mapping[span.span_id] = new_id
             span.span_id = new_id
             if span.parent_id is not None:
@@ -225,29 +308,51 @@ class Telemetry:
                 span.parent_id = parent.span_id
             if suffix:
                 span.facility = f"{span.facility}{suffix}"
-            self.spans.append(span)
+            if self.sink is None:
+                self.spans.append(span)
+            elif span.finished:
+                # an unfinished span could still be ended via the merged
+                # handle in list mode, but a sink only ever sees closed
+                # records — finish spans before absorbing into a spiller
+                self.sink.emit_span(span)
+            if span.finished:
+                for tap in self._taps:
+                    tap.emit_span(span)
+        instants = other.instants
+        samples = other.samples
         if suffix:
-            self.instants.extend(
+            instants = [
                 dataclasses.replace(e, facility=f"{e.facility}{suffix}")
                 for e in other.instants
-            )
-            self.samples.extend(
+            ]
+            samples = [
                 dataclasses.replace(
                     s,
                     facility=f"{s.facility}{suffix}",
                     resource=f"{s.resource}{suffix}",
                 )
                 for s in other.samples
-            )
-        else:
-            self.instants.extend(other.instants)
-            self.samples.extend(other.samples)
+            ]
+        if self.sink is None:
+            self.instants.extend(instants)
+            self.samples.extend(samples)
+        for event in instants:
+            if self.sink is not None:
+                self.sink.emit_instant(event)
+            for tap in self._taps:
+                tap.emit_instant(event)
+        for sample in samples:
+            if self.sink is not None:
+                self.sink.emit_sample(sample)
+            for tap in self._taps:
+                tap.emit_sample(sample)
         self.metrics.merge(other.metrics)
 
     # -- derived views -----------------------------------------------------------
 
     def sampled_resources(self) -> list[str]:
         """Resource names with samples, in first-appearance order."""
+        self._guard_materialized("sampled_resources")
         seen: dict[str, None] = {}
         for s in self.samples:
             seen.setdefault(s.resource, None)
@@ -255,4 +360,5 @@ class Telemetry:
 
     def utilization(self, resource: str) -> UtilizationTimeline:
         """The occupancy step function recorded for ``resource``."""
+        self._guard_materialized("utilization")
         return UtilizationTimeline.from_samples(resource, self.samples)

@@ -15,12 +15,24 @@ byte-identical files (the property the test suite pins).
 from __future__ import annotations
 
 import json
-from typing import Any
+from typing import Any, Iterator
 
+from repro.errors import ConfigurationError
 from repro.telemetry.context import Telemetry
+from repro.telemetry.spans import CounterSample, InstantEvent, Span
 
 #: Seconds -> trace microseconds.
 _US = 1e6
+
+
+def _require_materialized(telemetry: Telemetry) -> None:
+    """Exporting a sink-backed handle directly would silently drop every
+    spilled record; the shard files are the export source instead."""
+    if getattr(telemetry, "sink", None) is not None:
+        raise ConfigurationError(
+            "telemetry records were spilled to a sink; export from the "
+            "shards instead (repro.telemetry.stream.load_shards)"
+        )
 
 
 def _clean(attrs: dict[str, Any]) -> dict[str, Any]:
@@ -57,6 +69,7 @@ class _Layout:
 
 def chrome_trace(telemetry: Telemetry) -> dict:
     """The trace as a Trace-Event-Format object (``traceEvents`` + units)."""
+    _require_materialized(telemetry)
     layout = _Layout()
     spans = []
     for span in telemetry.spans:
@@ -139,40 +152,91 @@ def write_chrome_trace(telemetry: Telemetry, path: str) -> None:
     atomic_write_text(path, chrome_trace_json(telemetry) + "\n")
 
 
-def to_jsonl(telemetry: Telemetry) -> str:
-    """One JSON object per line: spans, instants, samples, then metrics."""
-    lines = []
+def span_record(span: Span) -> dict[str, Any]:
+    """The JSONL/wire record for one finished span.
+
+    One wire format, three consumers: :func:`to_jsonl` lines, the
+    :class:`~repro.telemetry.stream.ShardedJsonlSink` shard lines, and the
+    pubsub ``spans`` topic payloads — so a record read back from any of
+    them re-exports byte-identically (``_clean`` is idempotent and JSON
+    float repr round-trips exactly).
+    """
+    return {
+        "type": "span", "id": span.span_id, "name": span.name,
+        "cat": span.category, "facility": span.facility,
+        "track": span.track, "start": span.start, "end": span.end,
+        "parent": span.parent_id, "attrs": _clean(span.attrs),
+    }
+
+
+def instant_record(event: InstantEvent) -> dict[str, Any]:
+    """The JSONL/wire record for one instant event."""
+    return {
+        "type": "instant", "name": event.name, "cat": event.category,
+        "facility": event.facility, "track": event.track,
+        "time": event.time, "attrs": _clean(event.attrs),
+    }
+
+
+def sample_record(sample: CounterSample) -> dict[str, Any]:
+    """The JSONL/wire record for one counter sample."""
+    return {
+        "type": "sample", "resource": sample.resource,
+        "time": sample.time, "value": sample.value,
+        "capacity": sample.capacity, "facility": sample.facility,
+    }
+
+
+def metric_records(metrics) -> Iterator[dict[str, Any]]:
+    """One record per instrument; ``type`` is counter/gauge/histogram."""
+    for name, data in metrics.as_dict().items():
+        yield {"name": name, **data}
+
+
+def encode_record(record: dict[str, Any]) -> str:
+    """Canonical one-line encoding shared by every JSONL writer."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def iter_jsonl_records(telemetry: Telemetry) -> Iterator[dict[str, Any]]:
+    """Records in export order: spans, instants, samples, then metrics."""
+    _require_materialized(telemetry)
     for span in telemetry.spans:
         if not span.finished:
             continue
-        lines.append({
-            "type": "span", "id": span.span_id, "name": span.name,
-            "cat": span.category, "facility": span.facility,
-            "track": span.track, "start": span.start, "end": span.end,
-            "parent": span.parent_id, "attrs": _clean(span.attrs),
-        })
+        yield span_record(span)
     for event in telemetry.instants:
-        lines.append({
-            "type": "instant", "name": event.name, "cat": event.category,
-            "facility": event.facility, "track": event.track,
-            "time": event.time, "attrs": _clean(event.attrs),
-        })
+        yield instant_record(event)
     for sample in telemetry.samples:
-        lines.append({
-            "type": "sample", "resource": sample.resource,
-            "time": sample.time, "value": sample.value,
-            "capacity": sample.capacity,
-        })
-    for name, data in telemetry.metrics.as_dict().items():
-        lines.append({"type": "metric", "name": name, **data})
+        yield sample_record(sample)
+    yield from metric_records(telemetry.metrics)
+
+
+def to_jsonl(telemetry: Telemetry) -> str:
+    """One JSON object per line: spans, instants, samples, then metrics."""
     return "\n".join(
-        json.dumps(line, sort_keys=True, separators=(",", ":"))
-        for line in lines
+        encode_record(record) for record in iter_jsonl_records(telemetry)
     )
+
+
+def write_jsonl(telemetry: Telemetry, path: str) -> None:
+    """Stream the JSONL export to ``path`` line by line, atomically.
+
+    Unlike ``atomic_write_text(path, to_jsonl(tel))`` this never builds the
+    whole export in memory — each record is encoded and written as it is
+    produced, so a million-span trace exports in bounded memory. The file
+    is byte-identical to ``to_jsonl(telemetry) + "\\n"``.
+    """
+    from repro.atomicio import atomic_writer
+
+    with atomic_writer(path) as fh:
+        for record in iter_jsonl_records(telemetry):
+            fh.write(encode_record(record).encode("utf-8") + b"\n")
 
 
 def summary(telemetry: Telemetry) -> str:
     """Plain-text run summary: spans by category, utilization, metrics."""
+    _require_materialized(telemetry)
     finished = telemetry.finished_spans()
     by_cat: dict[str, list[float]] = {}
     for span in finished:

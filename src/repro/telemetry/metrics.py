@@ -24,6 +24,21 @@ DEFAULT_SECONDS_EDGES: tuple[float, ...] = (
 )
 
 
+def _prometheus_name(name: str) -> str:
+    """Map an instrument name onto the Prometheus charset."""
+    cleaned = "".join(
+        c if c.isalnum() or c in "_:" else "_" for c in name
+    )
+    if cleaned and cleaned[0].isdigit():
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _prometheus_value(value: float) -> str:
+    """Exact, deterministic float rendering for exposition lines."""
+    return repr(float(value))
+
+
 @dataclass
 class Counter:
     """A monotonically increasing total."""
@@ -187,6 +202,49 @@ class MetricsRegistry:
                     "counts": list(instrument.counts),
                 }
         return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition (version 0.0.4) of every instrument.
+
+        Conventions: counters are exposed as ``<name>_total``, gauges under
+        their own name, histograms as cumulative ``_bucket{le="..."}``
+        series (the overflow bucket becomes ``le="+Inf"``) plus ``_sum``
+        and ``_count``. Instrument names are sanitized to the Prometheus
+        charset (dots and dashes become underscores). Deterministic:
+        instruments render sorted by name, floats via ``repr``.
+
+        >>> registry = MetricsRegistry()
+        >>> registry.counter("service.leases").inc(3)
+        >>> print(registry.render_prometheus(), end="")
+        # TYPE service_leases_total counter
+        service_leases_total 3.0
+        """
+        lines: list[str] = []
+        for name in self:
+            instrument = self._instruments[name]
+            pname = _prometheus_name(name)
+            if isinstance(instrument, Counter):
+                lines.append(f"# TYPE {pname}_total counter")
+                lines.append(f"{pname}_total {_prometheus_value(instrument.value)}")
+            elif isinstance(instrument, Gauge):
+                lines.append(f"# TYPE {pname} gauge")
+                lines.append(f"{pname} {_prometheus_value(instrument.value)}")
+            else:
+                lines.append(f"# TYPE {pname} histogram")
+                cumulative = 0
+                for i, edge in enumerate(instrument.edges):
+                    cumulative += instrument.counts[i]
+                    lines.append(
+                        f'{pname}_bucket{{le="{_prometheus_value(edge)}"}} '
+                        f"{cumulative}"
+                    )
+                cumulative += instrument.counts[-1]
+                lines.append(f'{pname}_bucket{{le="+Inf"}} {cumulative}')
+                lines.append(
+                    f"{pname}_sum {_prometheus_value(instrument.total)}"
+                )
+                lines.append(f"{pname}_count {instrument.n}")
+        return "\n".join(lines) + "\n" if lines else ""
 
     def summary_lines(self) -> list[str]:
         """One aligned line per instrument, sorted by name."""

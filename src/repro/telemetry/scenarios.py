@@ -53,7 +53,7 @@ def _hub_facility(machine) -> tuple[str, float]:
     return spec.name, speed
 
 
-def _dag(seed: int, machine=None) -> Scenario:
+def _dag(seed: int, machine=None, sink=None) -> Scenario:
     """Multi-facility campaign DAG with failures and checkpoint-restart.
 
     A Trifan-style loop: simulation ensembles feed surrogate training,
@@ -66,7 +66,7 @@ def _dag(seed: int, machine=None) -> Scenario:
     from repro.workflows.dag import TaskGraph
     from repro.workflows.facility import Facility
 
-    tel = Telemetry()
+    tel = Telemetry(sink=sink)
     hub_name, hub_speed = _hub_facility(machine)
     facilities = {
         "summit": Facility(name=hub_name, nodes=8, speed=hub_speed),
@@ -127,7 +127,7 @@ def _dag(seed: int, machine=None) -> Scenario:
     )
 
 
-def _scheduler(seed: int, machine=None) -> Scenario:
+def _scheduler(seed: int, machine=None, sink=None) -> Scenario:
     """Batch scheduler under failures: a loaded queue on a small machine.
 
     The scheduled machine is 32 nodes for the historical default; with a
@@ -147,7 +147,7 @@ def _scheduler(seed: int, machine=None) -> Scenario:
         # floor of 16: the widest synthetic job must still fit the machine
         machine_size = max(16, min(128, resolve_machine(machine).node_count // 144))
 
-    tel = Telemetry()
+    tel = Telemetry(sink=sink)
     rng = np.random.default_rng(seed)
     jobs = []
     for i in range(24):
@@ -184,7 +184,7 @@ def _scheduler(seed: int, machine=None) -> Scenario:
     )
 
 
-def _restart(seed: int, machine=None) -> Scenario:
+def _restart(seed: int, machine=None, sink=None) -> Scenario:
     """One checkpointed job under Young/Daly-interval checkpoint-restart.
 
     The historical 90 s checkpoint is the Summit-NVMe write time for a
@@ -210,7 +210,7 @@ def _restart(seed: int, machine=None) -> Scenario:
             )
         write_time = payload / rate
 
-    tel = Telemetry()
+    tel = Telemetry(sink=sink)
     stats = simulate_checkpoint_restart(
         work_seconds=40 * 3600.0,
         interval=1800.0,
@@ -249,19 +249,23 @@ SCENARIOS = {
 }
 
 
-def run_scenario(name: str, seed: int = 0, machine=None) -> Scenario:
+def run_scenario(
+    name: str, seed: int = 0, machine=None, sink=None
+) -> Scenario:
     """Run one named scenario; raises on unknown names.
 
     ``machine`` (registry name or spec) re-parameterizes the scenario's
     machine-dependent knobs; ``None`` keeps the historical Summit-calibrated
-    values and byte-identical traces.
+    values and byte-identical traces. ``sink`` spills the scenario's
+    telemetry out-of-core instead of materializing it (the caller closes
+    the returned handle when the records should be sealed).
     """
     if name not in SCENARIOS:
         raise ConfigurationError(
             f"unknown telemetry scenario {name!r}; "
             f"choose from {sorted(SCENARIOS)}"
         )
-    return SCENARIOS[name](seed, machine=machine)
+    return SCENARIOS[name](seed, machine=machine, sink=sink)
 
 
 def _scenario_replica(name: str, machine, child_seed: int) -> Scenario:
@@ -274,6 +278,7 @@ def run_scenario_replicas(
     seed: int = 0,
     n_jobs: int = 1,
     machine=None,
+    sink=None,
 ) -> tuple[Telemetry, list[Scenario]]:
     """Run ``n_replicas`` seeded replicas of one scenario and merge traces.
 
@@ -285,6 +290,11 @@ def run_scenario_replicas(
     the span-tree invariant audit. Both the merged handle and the
     per-replica :class:`Scenario` list are identical whether the replicas
     ran serially or in a pool.
+
+    ``sink`` makes the *merged* handle sink-backed: each replica still runs
+    in-memory (its shard has to cross the pool boundary), but the merge
+    streams every absorbed record straight to the sink, so the combined
+    trace never materializes — the out-of-core path for wide ensembles.
     """
     from functools import partial
 
@@ -296,7 +306,7 @@ def run_scenario_replicas(
         partial(_scenario_replica, name, machine),
         n_replicas, seed=seed, n_jobs=n_jobs,
     )
-    merged = Telemetry()
+    merged = Telemetry(sink=sink)
     for i, replica in enumerate(replicas):
         merged.absorb(replica.telemetry, suffix=f" [r{i}]")
     return merged, replicas

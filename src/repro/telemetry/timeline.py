@@ -17,6 +17,8 @@ from repro.errors import ConfigurationError
 
 from repro.telemetry.spans import CounterSample
 
+__all__ = ["UtilizationAccumulator", "UtilizationTimeline"]
+
 
 @dataclass(frozen=True)
 class UtilizationTimeline:
@@ -101,3 +103,115 @@ class UtilizationTimeline:
                 break
             value = v
         return value
+
+
+@dataclass
+class UtilizationAccumulator:
+    """Streaming step-integral over one resource's samples, O(1) memory.
+
+    Feeding every sample (in record order) through :meth:`add` yields the
+    same ``busy_time``/``utilization``/``peak``/``capacity`` a materialized
+    :meth:`UtilizationTimeline.from_samples` would compute — *float-exact*
+    for ``busy_time``, because the incremental sum adds the identical
+    ``value * dt`` terms in the identical order. This is what lets shard
+    aggregation report utilizations for a million-sample trace without
+    holding the timeline.
+
+    >>> acc = UtilizationAccumulator("pool")
+    >>> for t, v in [(0.0, 2.0), (1.0, 4.0), (3.0, 0.0)]:
+    ...     acc.add(t, v, capacity=4.0)
+    >>> acc.busy_time(), acc.peak(), acc.capacity()
+    (10.0, 4.0, 4.0)
+
+    Two accumulators over a time-ordered split of the same sample stream
+    merge with :meth:`merge` (the right-hand one strictly later); the only
+    reordering is the single bridge term across the split point.
+    """
+
+    resource: str
+    n_samples: int = 0
+    _busy: float = 0.0
+    _capacity_max: float | None = None
+    _value_max: float = 0.0
+    _first_time: float | None = None
+    _last_time: float | None = None
+    _last_value: float = 0.0
+
+    def add(self, time: float, value: float,
+            capacity: float | None = None) -> None:
+        """Fold in the next sample (times must be non-decreasing)."""
+        if self._last_time is not None:
+            if time < self._last_time:
+                raise ConfigurationError(
+                    f"{self.resource}: sample times must be non-decreasing"
+                )
+            self._busy += self._last_value * (time - self._last_time)
+        else:
+            self._first_time = time
+        self._last_time = time
+        self._last_value = value
+        self.n_samples += 1
+        if capacity is not None and (
+            self._capacity_max is None or capacity > self._capacity_max
+        ):
+            self._capacity_max = capacity
+        if self.n_samples == 1 or value > self._value_max:
+            self._value_max = value
+
+    def add_sample(self, sample: CounterSample) -> None:
+        if sample.resource == self.resource:
+            self.add(sample.time, sample.value, sample.capacity)
+
+    def merge(self, other: "UtilizationAccumulator") -> None:
+        """Append a strictly-later accumulator over the same resource."""
+        if other.n_samples == 0:
+            return
+        if self.n_samples == 0:
+            for name in ("n_samples", "_busy", "_capacity_max", "_value_max",
+                         "_first_time", "_last_time", "_last_value"):
+                setattr(self, name, getattr(other, name))
+            return
+        assert other._first_time is not None and self._last_time is not None
+        if other._first_time < self._last_time:
+            raise ConfigurationError(
+                f"{self.resource}: merged accumulator overlaps in time"
+            )
+        self._busy += self._last_value * (other._first_time - self._last_time)
+        self._busy += other._busy
+        self._last_time = other._last_time
+        self._last_value = other._last_value
+        self.n_samples += other.n_samples
+        if other._capacity_max is not None and (
+            self._capacity_max is None
+            or other._capacity_max > self._capacity_max
+        ):
+            self._capacity_max = other._capacity_max
+        if other._value_max > self._value_max:
+            self._value_max = other._value_max
+
+    # -- the same derived numbers UtilizationTimeline reports ----------------------
+
+    def capacity(self) -> float:
+        """Same resolution rule as ``UtilizationTimeline.from_samples``."""
+        if self._capacity_max is not None:
+            return self._capacity_max or 1.0
+        return self._value_max or 1.0
+
+    def span(self) -> float:
+        if self._first_time is None or self._last_time is None:
+            return 0.0
+        return self._last_time - self._first_time
+
+    def busy_time(self) -> float:
+        return self._busy
+
+    def peak(self) -> float:
+        return self._value_max if self.n_samples else 0.0
+
+    def utilization(self) -> float:
+        if self.span() == 0.0:
+            return 0.0
+        utilization = self._busy / (self.capacity() * self.span())
+        if utilization > 1.0 and self.peak() <= self.capacity():
+            return 1.0
+        return utilization

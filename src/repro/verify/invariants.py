@@ -29,6 +29,7 @@ __all__ = [
     "audit_crossover_shape",
     "audit_scaling_shape",
     "audit_span_tree",
+    "audit_streaming_identity",
     "audit_trace_determinism",
     "audit_workflow_conservation",
     "run_invariants",
@@ -328,6 +329,59 @@ def audit_trace_determinism(scenario: str = "dag", seed: int = 0) -> InvariantRe
     )
 
 
+def audit_streaming_identity(scenario: str = "dag", seed: int = 0) -> InvariantResult:
+    """Out-of-core spill + stitch must reproduce the in-memory export exactly.
+
+    The streaming contract of :mod:`repro.telemetry.stream`: run the same
+    scenario once fully in memory and once spilling every record through a
+    :class:`~repro.telemetry.stream.ShardedJsonlSink`, then stitch the
+    shards back with :func:`~repro.telemetry.stream.load_shards`. The
+    Chrome trace, the JSONL dump and the human summary must be equal as
+    *strings* at every shard size — including pathological one-record
+    shards — or the out-of-core path is not a faithful telemetry plane.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.telemetry.export import chrome_trace_json, summary, to_jsonl
+    from repro.telemetry.scenarios import run_scenario
+    from repro.telemetry.stream import ShardedJsonlSink, load_shards, shard_paths
+
+    baseline = run_scenario(scenario, seed=seed).telemetry
+    want = (chrome_trace_json(baseline), to_jsonl(baseline), summary(baseline))
+
+    failures: list[str] = []
+    shard_counts: list[int] = []
+    with tempfile.TemporaryDirectory(prefix="repro-verify-stream-") as tmp:
+        for shard_max_bytes in (1, 4096):
+            directory = Path(tmp) / f"shards-{shard_max_bytes}"
+            sink = ShardedJsonlSink(directory, shard_max_bytes=shard_max_bytes)
+            streamed = run_scenario(scenario, seed=seed, sink=sink).telemetry
+            streamed.close()
+            shard_counts.append(len(shard_paths(directory)))
+            stitched = load_shards(directory)
+            got = (
+                chrome_trace_json(stitched),
+                to_jsonl(stitched),
+                summary(stitched),
+            )
+            for label, w, g in zip(("chrome_trace", "jsonl", "summary"), want, got):
+                if w != g:
+                    failures.append(
+                        f"{label} differs at shard_max_bytes={shard_max_bytes} "
+                        f"({len(w)} vs {len(g)} bytes)"
+                    )
+
+    return InvariantResult(
+        key=f"invariant.streaming_identity.{scenario}",
+        description="sharded spill + stitch exports byte-identical to in-memory",
+        passed=not failures,
+        detail="; ".join(failures)
+        or f"{len(want[0])}-byte trace identical from {shard_counts[0]} "
+        f"one-record shards and {shard_counts[1]} 4 KiB shards",
+    )
+
+
 def run_invariants(seed: int = 0) -> list[InvariantResult]:
     """The default structural-audit battery, in deterministic order."""
     run, graph, telemetry = _default_run(seed)
@@ -339,4 +393,5 @@ def run_invariants(seed: int = 0) -> list[InvariantResult]:
         audit_crossover_shape(),
         audit_trace_determinism("dag", seed=seed),
         audit_trace_determinism("scheduler", seed=seed),
+        audit_streaming_identity("dag", seed=seed),
     ]

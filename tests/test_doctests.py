@@ -23,6 +23,7 @@ MODULES = [
     "repro.science.md",
     "repro.sim.engine",
     "repro.telemetry",
+    "repro.telemetry.stream",
     "repro.training.job",
     "repro.training.scaling",
     "repro.analysis.scaling_laws",
@@ -30,6 +31,7 @@ MODULES = [
     "repro.resilience.retry",
     "repro.service.spec",
     "repro.service.journal",
+    "repro.service.pubsub",
     "repro.service.chaos",
     "repro.verify.expectations",
     "repro.verify.differential",

@@ -80,6 +80,39 @@ class TestHelpers:
 
 
 @pytest.mark.slow
+def test_live_follower_survives_server_kill(tmp_path, monkeypatch):
+    """The exactly-once streaming claim under real faults: a live
+    ``events --follow`` subscriber rides out a server SIGKILL + restart
+    and still sees every journal record exactly once, in seq order,
+    ending with the drain record.
+
+    Seed 4's plan kills the server once without tearing the journal tail,
+    so the frames the follower saw must equal the final WAL byte for
+    byte (a torn tail would legitimately rewrite history behind seqs the
+    follower already streamed)."""
+    from repro.service import read_journal
+
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    spec = chaos_campaign(10, seed=17, slow_every=3)
+    plan = ChaosPlan.from_seed(4, n_workers=2, n_jobs=10, server_kills=1)
+    assert not any(plan.tear_tail_after_kill)
+    outcome = run_chaos_campaign(spec, plan, tmp_path / "tail",
+                                 deadline_s=90.0, tail_events=True)
+    assert outcome.server_kills == 1
+    assert outcome.status["counts"]["done"] == 10
+
+    frames = outcome.events
+    assert frames, "follower saw no frames"
+    seqs = [f["seq"] for f in frames]
+    assert seqs == list(range(1, len(frames) + 1)), \
+        "stream has a gap, duplicate, or disorder across the kill"
+    assert frames[-1]["payload"]["type"] == "drain"
+    assert all(f["topic"] == "journal" and f["v"] == 1 for f in frames)
+    records = read_journal(tmp_path / "tail" / "journal").records
+    assert [f["payload"] for f in frames] == records
+
+
+@pytest.mark.slow
 def test_same_seed_same_recovery_outcome(tmp_path, monkeypatch):
     """The full acceptance loop, twice: identical plans, identical faults,
     byte-identical recovered result sets."""

@@ -331,3 +331,36 @@ class TestInstrumentationProperties:
         assert bare.end_times == inst.end_times
         assert bare.n_failures == inst.n_failures
         assert bare.busy_node_seconds == inst.busy_node_seconds
+
+
+class TestStreamingExports:
+    def test_write_jsonl_byte_identical_to_to_jsonl(self, tmp_path):
+        from repro.telemetry import write_jsonl
+
+        tel = run_scenario("dag", seed=0).telemetry
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(tel, str(path))
+        assert path.read_text() == to_jsonl(tel) + "\n"
+
+    def test_render_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("service.leases").inc(3)
+        registry.gauge("queue-depth").set(2.5)
+        registry.histogram("op.seconds", (0.1, 1.0)).record(0.5)
+        text = registry.render_prometheus()
+        lines = text.splitlines()
+        assert "# TYPE op_seconds histogram" in lines
+        assert 'op_seconds_bucket{le="0.1"} 0' in lines
+        assert 'op_seconds_bucket{le="1.0"} 1' in lines
+        assert 'op_seconds_bucket{le="+Inf"} 1' in lines
+        assert "op_seconds_count 1" in lines
+        assert "op_seconds_sum 0.5" in lines
+        assert "queue_depth 2.5" in lines
+        assert "service_leases_total 3.0" in lines
+        assert text.endswith("\n")
+
+    def test_render_prometheus_is_deterministic(self):
+        tel = run_scenario("dag", seed=0).telemetry
+        again = run_scenario("dag", seed=0).telemetry
+        assert tel.metrics.render_prometheus() == \
+            again.metrics.render_prometheus()
