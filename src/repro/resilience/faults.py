@@ -17,7 +17,7 @@ from typing import Any
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.sim.engine import Engine, Interrupt, Process, Timeout
+from repro.sim.engine import Engine, Process, Timer
 
 #: Default per-node MTBF (5 years), the figure used throughout the examples.
 DEFAULT_NODE_MTBF_SECONDS = 5 * 365 * 24 * 3600.0
@@ -76,6 +76,13 @@ class FailureInjector:
     :class:`FailureEvent`) into the target. The injector stops when the
     target finishes or when it is itself interrupted.
 
+    The injector never blocks on anything but its own clock, so it rides
+    the engine's generator-free :class:`~repro.sim.engine.Timer` fast path:
+    each expiry is one plain callback, with no generator frame on the
+    engine's hot loop. The failure times, the rng draw order (exponential
+    wait, then victim node index, alternating) and the interrupt timeline
+    are identical to the historical generator implementation.
+
     Deterministic: the same seed yields the same failure times.
 
     When the engine carries a :class:`~repro.telemetry.Telemetry` handle
@@ -95,11 +102,33 @@ class FailureInjector:
             self.telemetry = self.engine.telemetry
 
     def attach(self, target: Process, n_nodes: int) -> Process:
-        """Spawn the injector process stalking ``target``; returns it."""
+        """Spawn the injector timer stalking ``target``; returns it."""
         if n_nodes < 1:
             raise ConfigurationError("need at least one node")
+        mtbf = self.model.system_mtbf(n_nodes)
+
+        def fire() -> float | None:
+            if target.finished:
+                return None
+            event = FailureEvent(
+                time=self.engine.now,
+                node=int(self._rng.integers(0, n_nodes)),
+            )
+            self.events.append(event)
+            if self.telemetry is not None:
+                self.telemetry.instant(
+                    f"failure:node{event.node}", "fault",
+                    facility="faults", track=target.name,
+                    time=event.time, node=event.node,
+                    target=target.name,
+                )
+                self.telemetry.metrics.counter("faults.injected").inc()
+            target.interrupt(event)
+            return float(self._rng.exponential(mtbf))
+
         proc = self.engine.spawn(
-            self._inject(target, n_nodes), name=f"injector:{target.name}"
+            Timer(float(self._rng.exponential(mtbf)), fire),
+            name=f"injector:{target.name}",
         )
         # stop the injector the moment the target completes, so the engine
         # clock is not dragged past the interesting part of the simulation
@@ -107,30 +136,6 @@ class FailureInjector:
             self._sentinel(target, proc), name=f"sentinel:{target.name}"
         )
         return proc
-
-    def _inject(self, target: Process, n_nodes: int):
-        mtbf = self.model.system_mtbf(n_nodes)
-        try:
-            while not target.finished:
-                yield Timeout(float(self._rng.exponential(mtbf)))
-                if target.finished:
-                    return
-                event = FailureEvent(
-                    time=self.engine.now,
-                    node=int(self._rng.integers(0, n_nodes)),
-                )
-                self.events.append(event)
-                if self.telemetry is not None:
-                    self.telemetry.instant(
-                        f"failure:node{event.node}", "fault",
-                        facility="faults", track=target.name,
-                        time=event.time, node=event.node,
-                        target=target.name,
-                    )
-                    self.telemetry.metrics.counter("faults.injected").inc()
-                target.interrupt(event)
-        except Interrupt:
-            return  # the sentinel noticed the target finished
 
     def _sentinel(self, target: Process, injector: Process):
         yield target

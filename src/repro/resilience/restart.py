@@ -61,11 +61,16 @@ def simulate_checkpoint_restart(
     seed: int = 0,
     restart_delay: float = 0.0,
     telemetry=None,
+    engine_impl: str | None = None,
 ) -> RestartStats:
     """Run one job to completion under failure injection; return the stats.
 
     Deterministic in ``seed``: identical seeds give identical failure times
-    and therefore identical wall-clock.
+    and therefore identical wall-clock. ``engine_impl`` selects the event
+    scheduler (``heap`` | ``calendar``; default: the engine's
+    ``REPRO_ENGINE_IMPL`` knob) — the run is byte-identical either way,
+    and the injector's exponential clocks ride the calendar engine's
+    generator-free timer fast path.
 
     An optional :class:`~repro.telemetry.Telemetry` handle records one span
     per compute segment, checkpoint write and restart delay (facility
@@ -79,7 +84,7 @@ def simulate_checkpoint_restart(
     if write_time < 0 or restart_delay < 0:
         raise ConfigurationError("write/restart times must be non-negative")
 
-    engine = Engine(telemetry)
+    engine = Engine(telemetry, impl=engine_impl)
     stats = {
         "failures": 0,
         "checkpoints": 0,

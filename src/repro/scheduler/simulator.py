@@ -17,7 +17,6 @@ identical to the fault-free simulator.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -25,6 +24,7 @@ from repro.errors import ConfigurationError
 from repro.scheduler.faults import FaultModel
 from repro.scheduler.jobs import Job
 from repro.scheduler.policy import Policy, priority_key
+from repro.sim.calqueue import make_event_queue
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry import Telemetry
@@ -79,8 +79,14 @@ class Scheduler:
         jobs: list[Job],
         faults: FaultModel | None = None,
         telemetry: "Telemetry | None" = None,
+        engine_impl: str | None = None,
     ) -> ScheduleResult:
         """Simulate the schedule; optionally record telemetry.
+
+        ``engine_impl`` selects the completion-event queue (``heap`` |
+        ``calendar``; default: the ``REPRO_ENGINE_IMPL`` knob). Events are
+        ``(end_time, seq)``-ordered under either implementation, so the
+        simulated schedule is byte-identical across the two.
 
         With a :class:`~repro.telemetry.Telemetry` handle the run records
         queue-wait spans, per-execution job spans (on per-node tracks when
@@ -110,7 +116,7 @@ class Scheduler:
         pending = sorted(jobs, key=lambda j: j.submit_time)
         queue: list[Job] = []
         # (end_time, seq, job); fault mode resolves seq -> execution details
-        running: list[tuple[float, int, Job]] = []
+        running = make_event_queue(engine_impl)
         executions: dict[int, tuple[float, bool]] = {}  # seq -> (run_s, failed)
         seq = 0
         idle = self.n_nodes
@@ -152,7 +158,7 @@ class Scheduler:
             nonlocal idle, seq
             self._start(job, now, starts)
             if faults is None:
-                heapq.heappush(running, (now + job.duration, seq, job))
+                running.push((now + job.duration, seq, job))
             else:
                 left = remaining[job.job_id]
                 assert rng is not None
@@ -161,10 +167,10 @@ class Scheduler:
                 )
                 if t_fail < left:
                     executions[seq] = (t_fail, True)
-                    heapq.heappush(running, (now + t_fail, seq, job))
+                    running.push((now + t_fail, seq, job))
                 else:
                     executions[seq] = (left, False)
-                    heapq.heappush(running, (now + left, seq, job))
+                    running.push((now + left, seq, job))
             if telemetry is not None:
                 wait_span = open_waits.pop(job.job_id, None)
                 if wait_span is not None:
@@ -227,7 +233,7 @@ class Scheduler:
                 needed = head.nodes - idle
                 freed = 0
                 head_start = now
-                for end_time, _, job in sorted(running):
+                for end_time, _, job in running.sorted_entries():
                     freed += job.nodes
                     head_start = end_time
                     if freed >= needed:
@@ -244,7 +250,8 @@ class Scheduler:
         while pending or queue or running:
             # next event: job arrival or completion
             next_arrival = pending[0].submit_time if pending else float("inf")
-            next_completion = running[0][0] if running else float("inf")
+            peeked = running.peek_time()
+            next_completion = peeked if peeked is not None else float("inf")
             now = min(next_arrival, next_completion)
             if now == float("inf"):
                 raise AssertionError("scheduler deadlock")
@@ -260,8 +267,11 @@ class Scheduler:
                     enqueued(job)
             if telemetry is not None and queue:
                 snap()
-            while running and running[0][0] <= now:
-                _, done_seq, job = heapq.heappop(running)
+            while running:
+                peeked = running.peek_time()
+                if peeked is None or peeked > now:
+                    break
+                _, done_seq, job = running.pop()
                 idle += job.nodes
                 if faults is None:
                     ends[job.job_id] = now

@@ -2,21 +2,36 @@
 
 Used by the workflow executor (:mod:`repro.workflows`) to model task timing
 across facilities, and by the scheduler studies. The engine is deliberately
-minimal: an event heap, generator-based processes, and capacity resources —
-enough to express job queues, staged pipelines and coupled simulation loops
-without pulling in an external simulation framework.
+minimal: an event queue (calendar-queue scheduler by default, with the
+legacy heap kept as the differential-testing reference), generator-based
+processes plus a generator-free :class:`Timer` fast path, and capacity
+resources — enough to express job queues, staged pipelines and coupled
+simulation loops without pulling in an external simulation framework.
 """
 
-from repro.sim.engine import Engine, Interrupt, Process, Timeout
+from repro.sim.calqueue import (
+    ENGINE_IMPLS,
+    CalendarQueue,
+    HeapQueue,
+    make_event_queue,
+    resolve_engine_impl,
+)
+from repro.sim.engine import Engine, Interrupt, Process, Timeout, Timer
 from repro.sim.resources import Resource
 from repro.sim.trace import Trace, TraceEvent
 
 __all__ = [
+    "ENGINE_IMPLS",
+    "CalendarQueue",
     "Engine",
+    "HeapQueue",
     "Interrupt",
     "Process",
     "Resource",
     "Timeout",
+    "Timer",
     "Trace",
     "TraceEvent",
+    "make_event_queue",
+    "resolve_engine_impl",
 ]

@@ -7,7 +7,36 @@ A *process* is a Python generator that yields effects:
   back into the parent);
 - ``Resource.acquire()`` request objects — wait for capacity.
 
-The engine is deterministic: simultaneous events fire in creation order.
+Processes that never block — pure timers, like the failure injector's
+exponential clocks or Monte-Carlo ensemble timers — can skip the generator
+machinery entirely: spawn a :class:`Timer` plan instead of a generator and
+the engine detects it at spawn, firing a plain callback with no frame to
+resume, no ``StopIteration`` to raise and no intermediate start event.
+
+Determinism and tie-breaking
+----------------------------
+Event ordering is explicitly ``(time, seq)``-keyed: every scheduled event
+carries the simulated time it is due and a monotonically increasing
+sequence number drawn at scheduling time. Events fire in ascending
+``(time, seq)`` order, so simultaneous events fire in exactly the order
+they were scheduled (FIFO) — spawn order for fresh processes, wake order
+for resumed ones. Because ``seq`` is unique, the comparison never reaches
+the payload, and the order is a total order: both event-queue
+implementations (see below) reproduce it bit-for-bit.
+
+Engine implementations
+----------------------
+``impl`` selects the event-queue scheduler (default: the
+``REPRO_ENGINE_IMPL`` environment knob, then ``"calendar"``):
+
+- ``"calendar"`` — a :class:`~repro.sim.calqueue.CalendarQueue` (bucketed
+  ring with an overflow heap) with *batched dispatch*: all events at one
+  simulated time are drained in a single pass instead of one pop per
+  event. The production default.
+- ``"heap"`` — the legacy single ``heapq`` loop, kept as the
+  differential-testing reference. Same seed, either impl: byte-identical
+  event order, results and telemetry traces (enforced by the equivalence
+  suite and the committed golden traces).
 
 Processes are *interruptible*: :meth:`Process.interrupt` throws an
 :class:`Interrupt` into the generator at its current wait point, whether it
@@ -16,7 +45,10 @@ resource. This is how node failures reach the work running on the failed
 nodes (see :mod:`repro.resilience`): the victim catches the ``Interrupt``,
 rolls back to its last checkpoint, and resumes. A process that does not
 catch the ``Interrupt`` is killed (``proc.killed`` is set and waiters are
-woken with ``None``).
+woken with ``None``). An interrupted :class:`Timer` has no frame to throw
+into: it is cancelled cleanly — finished with result ``None``, ``killed``
+left ``False`` — exactly like a generator that catches the ``Interrupt``
+and returns.
 
 Example
 -------
@@ -35,12 +67,13 @@ Example
 from __future__ import annotations
 
 import heapq
-import itertools
 from collections.abc import Generator
+from itertools import repeat
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import SimulationError
+from repro.sim.calqueue import CalendarQueue, resolve_engine_impl
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry import Telemetry
@@ -55,6 +88,33 @@ class Timeout:
     def __post_init__(self) -> None:
         if self.delay < 0:
             raise SimulationError(f"negative timeout: {self.delay}")
+
+
+class Timer:
+    """A generator-free process plan: sleep ``delay``, fire, maybe re-arm.
+
+    Spawning a ``Timer`` instead of a generator puts the process on the
+    engine's fast path: the expiry is scheduled directly (no start event),
+    and firing it is a plain call to ``fire`` — no generator frame, no
+    ``send``, no ``StopIteration``. ``fire`` may return a non-negative
+    float to re-arm the timer that many simulated seconds ahead, or
+    ``None`` to finish the process with ``result``. A fire-less timer is a
+    pure sleep: it finishes at expiry.
+
+    Timers never block on resources or other processes, which is exactly
+    what makes the fast path safe; anything that must wait stays a
+    generator. Other processes may wait on a timer's :class:`Process`
+    handle as usual.
+    """
+
+    __slots__ = ("delay", "fire", "result")
+
+    def __init__(self, delay: float, fire: Any = None, result: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timer delay: {delay}")
+        self.delay = delay
+        self.fire = fire
+        self.result = result
 
 
 class Interrupt(Exception):
@@ -79,8 +139,17 @@ class _Throw:
         self.exc = exc
 
 
+class _Fire:
+    """Internal send-value marker: a :class:`Timer` expiry."""
+
+    __slots__ = ()
+
+
+_FIRE = _Fire()
+
+
 class Process:
-    """A running simulated process wrapping a generator.
+    """A running simulated process wrapping a generator (or :class:`Timer`).
 
     ``__slots__`` keeps the per-process footprint flat: large simulations
     (scheduler ensembles, fault sweeps) allocate thousands of these on the
@@ -93,7 +162,7 @@ class Process:
         "_tel_span",
     )
 
-    def __init__(self, engine: Engine, gen: Generator, name: str = ""):
+    def __init__(self, engine: Engine, gen: Any, name: str = ""):
         self.engine = engine
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
@@ -102,8 +171,10 @@ class Process:
         self.result: Any = None
         self.started_at = engine.now
         self.finished_at: float | None = None
-        self._waiters: list[Process] = []
-        self._epoch = 0  # bumped on interrupt; stale heap entries are skipped
+        # lazily allocated: most processes are never waited on, and the
+        # timer fast path treats ``None`` as "no waiters"
+        self._waiters: list[Process] | None = None
+        self._epoch = 0  # bumped on interrupt; stale queue entries are skipped
         self._waiting_on: Any = None  # Process | resource request | None
         self._tel_span: Any = None  # open telemetry span, when instrumented
 
@@ -120,7 +191,11 @@ class Process:
 
 
 class Engine:
-    """The event loop: a heap of (time, seq, epoch, process, value_to_send).
+    """The event loop over ``(time, seq, epoch, process, value_to_send)``.
+
+    Events are totally ordered by ``(time, seq)`` — see the module
+    docstring for the tie-break contract and the ``impl`` knob selecting
+    the calendar-queue scheduler (default) or the legacy heap reference.
 
     ``telemetry`` is the opt-in observability handle
     (:class:`repro.telemetry.Telemetry`): when supplied, the engine binds
@@ -129,77 +204,278 @@ class Engine:
     telemetry code runs — the hot path is the uninstrumented seed path.
     """
 
-    __slots__ = ("now", "telemetry", "_heap", "_seq", "_active", "_current")
+    __slots__ = (
+        "now", "telemetry", "impl", "_heap", "_calendar", "_seq", "_active",
+        "_current", "_batch", "_batch_time",
+    )
 
-    def __init__(self, telemetry: "Telemetry | None" = None):
+    def __init__(
+        self, telemetry: "Telemetry | None" = None, impl: str | None = None
+    ):
         self.now = 0.0
         self.telemetry = telemetry
-        self._heap: list[tuple[float, int, int, Process, Any]] = []
-        self._seq = itertools.count()
+        self.impl = resolve_engine_impl(impl)
+        # exactly one of the two queues exists; _schedule branches on _heap
+        if self.impl == "heap":
+            self._heap: list[tuple] | None = []
+            self._calendar: CalendarQueue | None = None
+        else:
+            self._heap = None
+            self._calendar = CalendarQueue()
+        self._seq = 0  # next sequence number; drawn in blocks by bulk spawn
         self._active = 0
         self._current: Process | None = None  # process being stepped
+        self._batch: list[tuple] | None = None  # same-time batch being drained
+        self._batch_time = 0.0
         if telemetry is not None:
             telemetry.bind_clock(lambda: self.now)
 
-    def spawn(self, gen: Generator, name: str = "") -> Process:
-        """Register a new process and schedule its first step at ``now``."""
+    def spawn(self, gen: Generator | Timer, name: str = "") -> Process:
+        """Register a new process and schedule its first step.
+
+        A generator is scheduled for its first ``send`` at ``now``; a
+        :class:`Timer` plan is detected here and its expiry scheduled
+        directly at ``now + delay`` — the generator-free fast path.
+        """
         proc = Process(self, gen, name)
         self._active += 1
-        self._schedule(self.now, proc, None)
+        if type(gen) is Timer:
+            self._schedule(self.now + gen.delay, proc, _FIRE)
+        else:
+            self._schedule(self.now, proc, None)
         if self.telemetry is not None:
             proc._tel_span = self.telemetry.begin(
                 proc.name, "process", facility="engine", track=proc.name
             )
         return proc
 
+    def spawn_timers(
+        self,
+        delays,
+        fire: Any = None,
+        result: Any = None,
+        name: str = "",
+    ) -> list[Process]:
+        """Spawn one :class:`Timer` process per delay, sharing one plan.
+
+        Semantically identical to ``[self.spawn(Timer(d, fire, result),
+        name) for d in delays]`` — same ``(time, seq)`` schedule, same
+        per-process results — but the per-spawn overhead is amortised:
+        a single shared ``Timer`` plan (the delay lives in the schedule
+        entry, not the plan) and an inlined scheduling loop. This is the
+        bulk entry point for Monte-Carlo timer storms.
+        """
+        delays = list(delays)
+        if delays and min(delays) < 0:
+            raise SimulationError(
+                f"negative timer delay: {min(delays)}"
+            )
+        timer = Timer(0.0, fire, result)
+        if not name:
+            name = "process"  # what Process derives for a plain Timer
+        now = self.now
+        procs = [Process(self, timer, name) for _ in delays]
+        self._active += len(procs)
+        seq0 = self._seq
+        self._seq = seq0 + len(procs)  # draw the whole seq block at once
+        # zip builds the entry tuples in C — measurably cheaper than a
+        # tuple-display comprehension at Monte-Carlo sizes
+        entries = list(zip(
+            [now + delay for delay in delays],
+            range(seq0, seq0 + len(procs)),
+            repeat(0),
+            procs,
+            repeat(_FIRE),
+        ))
+        heap = self._heap
+        if heap is not None:
+            for entry in entries:
+                heapq.heappush(heap, entry)
+        elif self._batch is not None:
+            # mid-batch spawn: same-time entries join the live batch (their
+            # seq is larger, so appending preserves the (time, seq) order)
+            batch_time = self._batch_time
+            batch = self._batch
+            calendar = self._calendar
+            for entry in entries:
+                if entry[0] == batch_time:
+                    batch.append(entry)
+                else:
+                    calendar.push(entry)
+        else:
+            self._calendar.push_many(entries)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            for proc in procs:
+                proc._tel_span = telemetry.begin(
+                    proc.name, "process", facility="engine", track=proc.name
+                )
+        return procs
+
     def _schedule(self, when: float, proc: Process, send_value: Any) -> None:
-        heapq.heappush(
-            self._heap, (when, next(self._seq), proc._epoch, proc, send_value)
-        )
+        seq = self._seq
+        self._seq = seq + 1
+        entry = (when, seq, proc._epoch, proc, send_value)
+        heap = self._heap
+        if heap is not None:
+            heapq.heappush(heap, entry)
+        elif self._batch is not None and when == self._batch_time:
+            # same-time event scheduled mid-batch: its seq is larger than
+            # every pending entry's, so appending preserves (time, seq) order
+            self._batch.append(entry)
+        else:
+            self._calendar.push(entry)
 
     def run(self, until: float | None = None) -> None:
         """Run until no events remain, or simulated time would pass ``until``.
-
-        One heap pop per event: entries whose epoch was bumped by an
-        interrupt are discarded lazily as they surface (never re-popped
-        eagerly), and an entry beyond ``until`` is pushed back once — the
-        rare case — instead of peeking the heap top on every iteration.
 
         Leaving the loop — even on an exception — flushes any telemetry
         sink: a run boundary is a quiescent point, so spilled shards reach
         disk without waiting for the handle to be closed.
         """
-        heap = self._heap
         try:
-            while heap:
-                entry = heapq.heappop(heap)
-                when, _, epoch, proc, send_value = entry
-                if epoch != proc._epoch:  # cancelled by an interrupt
-                    continue
-                if until is not None and when > until:
-                    heapq.heappush(heap, entry)
-                    self.now = until
-                    return
-                if when < self.now:
-                    raise SimulationError("event scheduled in the past")
-                self.now = when
-                self._step(proc, send_value)
-            if until is not None:
-                self.now = max(self.now, until)
+            if self._heap is not None:
+                self._run_heap(until)
+            else:
+                self._run_calendar(until)
         finally:
             if self.telemetry is not None:
                 self.telemetry.flush()
 
+    def _run_heap(self, until: float | None) -> None:
+        """The legacy loop: one heap pop per event.
+
+        Entries whose epoch was bumped by an interrupt are discarded lazily
+        as they surface (never re-popped eagerly), and an entry beyond
+        ``until`` is pushed back once — the rare case — instead of peeking
+        the heap top on every iteration.
+        """
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            when, _, epoch, proc, send_value = entry
+            if epoch != proc._epoch:  # cancelled by an interrupt
+                continue
+            if until is not None and when > until:
+                heapq.heappush(heap, entry)
+                self.now = until
+                return
+            if when < self.now:
+                raise SimulationError("event scheduled in the past")
+            self.now = when
+            self._step(proc, send_value)
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def _run_calendar(self, until: float | None) -> None:
+        """Batched dispatch: drain all events at one time in a single pass.
+
+        Events scheduled *during* a multi-event batch at exactly the batch
+        time are appended to it (their seq is necessarily larger), so the
+        pass stays a faithful ``(time, seq)`` drain. On an exception the
+        unprocessed tail is pushed back, mirroring the heap loop's
+        consume-one-at-a-time failure behaviour as closely as possible.
+
+        Two hot-path shortcuts, neither observable in the event order:
+
+        - single-event batches skip the batch bookkeeping entirely (a
+          same-time event such a step schedules goes through the queue and
+          is popped as the next batch — same total order);
+        - a fire-less, waiter-less :class:`Timer` expiry on an
+          uninstrumented engine is finished inline, with no call chain.
+        """
+        queue = self._calendar
+        step = self._step
+        tel_off = self.telemetry is None
+        pop_batch = queue.pop_time_batch
+        while True:
+            if until is not None:
+                when = queue.peek_time()
+                if when is None:
+                    break
+                if when > until:
+                    self.now = until
+                    return
+            batch = pop_batch()
+            if batch is None:
+                break
+            if len(batch) == 1:
+                when, _, epoch, proc, send_value = batch[0]
+                if epoch != proc._epoch:  # cancelled by an interrupt
+                    continue
+                if when < self.now:
+                    raise SimulationError("event scheduled in the past")
+                self.now = when
+                if send_value is _FIRE:
+                    timer = proc.gen
+                    if timer.fire is None and tel_off and not proc._waiters:
+                        proc.finished = True
+                        proc.result = timer.result
+                        proc.finished_at = when
+                        self._active -= 1
+                        continue
+                step(proc, send_value)
+                continue
+            for entry in batch:
+                if entry[2] == entry[3]._epoch:
+                    break
+            else:
+                # every entry was cancelled by an interrupt: discard the
+                # batch without advancing the clock (the heap loop's lazy
+                # skip never moves ``now`` for stale entries either)
+                continue
+            when = batch[0][0]
+            if when < self.now:
+                raise SimulationError("event scheduled in the past")
+            self.now = when
+            self._batch = batch
+            self._batch_time = when
+            i = 0
+            n = len(batch)
+            n_finished = 0  # inline timer finishes, applied to _active once
+            try:
+                while i < n:
+                    _, _, epoch, proc, send_value = batch[i]
+                    i += 1
+                    if epoch != proc._epoch:  # cancelled by an interrupt
+                        continue
+                    if send_value is _FIRE:
+                        timer = proc.gen
+                        if (
+                            timer.fire is None
+                            and tel_off
+                            and not proc._waiters
+                        ):
+                            proc.finished = True
+                            proc.result = timer.result
+                            proc.finished_at = when
+                            n_finished += 1
+                            continue
+                    step(proc, send_value)
+                    n = len(batch)
+            finally:
+                self._batch = None
+                self._active -= n_finished
+                if i < len(batch):  # exception mid-batch: keep the tail
+                    for entry in batch[i:]:
+                        queue.push(entry)
+        if until is not None:
+            self.now = max(self.now, until)
+
     def _step(self, proc: Process, send_value: Any) -> None:
         if proc.finished:
             raise SimulationError(f"stepping finished process {proc.name}")
+        gen = proc.gen
+        if type(gen) is Timer:
+            self._fire_timer(proc, gen, send_value)
+            return
         proc._waiting_on = None
         self._current = proc
         try:
             if isinstance(send_value, _Throw):
-                effect = proc.gen.throw(send_value.exc)
+                effect = gen.throw(send_value.exc)
             else:
-                effect = proc.gen.send(send_value)
+                effect = gen.send(send_value)
         except StopIteration as stop:
             self._finish(proc, stop.value)
             return
@@ -212,6 +488,34 @@ class Engine:
             self._current = None
         self._dispatch(proc, effect)
 
+    def _fire_timer(self, proc: Process, timer: Timer, send_value: Any) -> None:
+        """Advance a :class:`Timer` process: no generator frame involved."""
+        if send_value is _FIRE:
+            fire = timer.fire
+            if fire is not None:
+                self._current = proc
+                try:
+                    next_delay = fire()
+                finally:
+                    self._current = None
+                if next_delay is not None:
+                    if next_delay < 0:
+                        raise SimulationError(
+                            f"timer {proc.name} re-armed with negative "
+                            f"delay {next_delay}"
+                        )
+                    self._schedule(self.now + next_delay, proc, _FIRE)
+                    return
+            self._finish(proc, timer.result)
+        elif isinstance(send_value, _Throw):
+            # no frame to throw into: cancel cleanly (not a kill) — the
+            # pending expiry was already invalidated by the epoch bump
+            self._finish(proc, None)
+        else:  # pragma: no cover - timers are only ever sent _FIRE/_Throw
+            raise SimulationError(
+                f"timer {proc.name} received unexpected value {send_value!r}"
+            )
+
     def _dispatch(self, proc: Process, effect: Any) -> None:
         if isinstance(effect, Timeout):
             self._schedule(self.now + effect.delay, proc, None)
@@ -220,7 +524,10 @@ class Engine:
                 self._schedule(self.now, proc, effect.result)
             else:
                 proc._waiting_on = effect
-                effect._waiters.append(proc)
+                if effect._waiters is None:
+                    effect._waiters = [proc]
+                else:
+                    effect._waiters.append(proc)
         elif hasattr(effect, "_bind_waiter"):  # resource requests
             proc._waiting_on = effect
             effect._bind_waiter(proc)
@@ -235,10 +542,12 @@ class Engine:
         if self.telemetry is not None and proc._tel_span is not None:
             self.telemetry.end(proc._tel_span, killed=proc.killed)
             proc._tel_span = None
-        for waiter in proc._waiters:
-            waiter._waiting_on = None
-            self._schedule(self.now, waiter, result)
-        proc._waiters.clear()
+        waiters = proc._waiters
+        if waiters:
+            for waiter in waiters:
+                waiter._waiting_on = None
+                self._schedule(self.now, waiter, result)
+            proc._waiters = None
 
     def _interrupt(self, proc: Process, cause: Any) -> bool:
         if proc.finished:
@@ -246,12 +555,13 @@ class Engine:
         # detach from whatever the process is waiting on
         waiting_on = proc._waiting_on
         if isinstance(waiting_on, Process):
-            if proc in waiting_on._waiters:
-                waiting_on._waiters.remove(proc)
+            peers = waiting_on._waiters
+            if peers and proc in peers:
+                peers.remove(proc)
         elif waiting_on is not None and hasattr(waiting_on, "_cancel"):
             waiting_on._cancel(proc)
         proc._waiting_on = None
-        proc._epoch += 1  # invalidate any pending heap entry for this process
+        proc._epoch += 1  # invalidate any pending queue entry for this process
         self._schedule(self.now, proc, _Throw(Interrupt(cause)))
         if self.telemetry is not None:
             self.telemetry.instant(

@@ -267,6 +267,7 @@ class TaskGraph:
         retry: RetryPolicy | None = None,
         seed: int = 0,
         telemetry: Telemetry | None = None,
+        engine_impl: str | None = None,
     ) -> WorkflowRun:
         """Run the DAG with resource contention; returns timing results.
 
@@ -274,7 +275,10 @@ class TaskGraph:
         (defaults to :class:`RetryPolicy` when any task can fail), resuming
         from their last committed checkpoint. ``seed`` drives the per-task
         failure draws; the same seed reproduces the exact same failure
-        times, retry counts and makespan.
+        times, retry counts and makespan. ``engine_impl`` selects the
+        discrete-event scheduler (``heap`` | ``calendar``; default: the
+        engine's ``REPRO_ENGINE_IMPL`` knob) — execution is byte-identical
+        either way.
 
         With a ``telemetry`` handle the executor additionally records one
         span per task attempt (facility "workflow"), per-node occupancy
@@ -288,7 +292,7 @@ class TaskGraph:
             raise ConfigurationError("empty task graph")
         if retry is None:
             retry = RetryPolicy()
-        engine = Engine(telemetry)
+        engine = Engine(telemetry, impl=engine_impl)
         pools = {
             key: Resource(engine, fac.nodes, name=fac.name)
             for key, fac in self.facilities.items()

@@ -210,3 +210,67 @@ class TestTraceDeterminism:
 
         result = audit_trace_determinism(scenario, seed=0)
         assert result.passed, result.detail
+
+
+class TestTieBreakFIFO:
+    """The documented ``(time, seq)`` contract: simultaneous events fire in
+    scheduling order — spawn order for fresh processes — on both engine
+    implementations, even at batch sizes where the calendar queue drains
+    the whole instant in one pass."""
+
+    N = 1000
+
+    @pytest.mark.parametrize("impl", ["heap", "calendar"])
+    def test_thousand_simultaneous_events_fire_in_spawn_order(self, impl):
+        eng = Engine(impl=impl)
+        order = []
+
+        def job(i):
+            yield Timeout(5.0)  # every process wakes at exactly t=5.0
+            order.append(i)
+
+        for i in range(self.N):
+            eng.spawn(job(i))
+        eng.run()
+        assert eng.now == 5.0
+        assert order == list(range(self.N))
+
+    @pytest.mark.parametrize("impl", ["heap", "calendar"])
+    def test_simultaneous_timer_fires_in_spawn_order(self, impl):
+        from repro.sim import Timer
+
+        eng = Engine(impl=impl)
+        order = []
+        procs = [
+            eng.spawn(Timer(5.0, fire=(lambda i=i: order.append(i))))
+            for i in range(self.N)
+        ]
+        eng.run()
+        assert order == list(range(self.N))
+        assert [p.finished_at for p in procs] == [5.0] * self.N
+
+    @pytest.mark.parametrize("impl", ["heap", "calendar"])
+    def test_mid_batch_schedules_join_the_same_instant_in_seq_order(
+        self, impl
+    ):
+        """Zero-delay events scheduled while an instant is being drained
+        still fire within that instant, after everything already queued."""
+        eng = Engine(impl=impl)
+        order = []
+
+        def echo(i):
+            yield Timeout(0.0)
+            order.append(("echo", i))
+
+        def job(i):
+            yield Timeout(5.0)
+            order.append(("job", i))
+            eng.spawn(echo(i))
+
+        for i in range(10):
+            eng.spawn(job(i))
+        eng.run()
+        assert eng.now == 5.0
+        assert order == [("job", i) for i in range(10)] + [
+            ("echo", i) for i in range(10)
+        ]
