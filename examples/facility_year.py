@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""A simulated year of whole-facility operation in seconds of wall-clock.
+
+The vectorized timer banks (``repro.sim.timerbank``) hold homogeneous
+timer populations — per-node failure clocks, job walltime expirations —
+as numpy arrays and dispatch them through the engine as a single queue
+entry per horizon window. That turns the two hot loops of a facility
+simulation into bulk array operations and makes a year of Summit-scale
+operation a coffee-sip-sized run:
+
+1. **Per-node failure clocks** — a :class:`~repro.resilience.faults.
+   FailureInjector` bank gives each of Summit's 4 608 nodes its own
+   exponential MTBF clock (lane index = node index) and stalks one
+   year-long facility process; every firing interrupts the target with
+   the failing node's identity.
+2. **A year of batch scheduling** — ~80 k jobs from the utilization-
+   targeted synthetic stream, replayed through the scheduler's bank mode
+   (``timer_bank=True``) with checkpoint/requeue fault churn, and the
+   identical replay through the object path on a shorter window to show
+   the two agree field for field.
+
+Run:  python examples/facility_year.py
+"""
+
+import time
+
+from repro.resilience.faults import FailureInjector
+from repro.scheduler import FaultModel, Scheduler
+from repro.scheduler.jobs import synthetic_facility_year
+from repro.sim.engine import Engine, Interrupt, Timeout
+
+YEAR = 365.0 * 86400.0
+N_NODES = 4608
+
+
+def facility(eng: Engine):
+    """A year-long facility process that absorbs node-failure interrupts."""
+    failures = 0
+    remaining = YEAR
+    while True:
+        started = eng.now
+        try:
+            yield Timeout(remaining)
+            return failures
+        except Interrupt:
+            failures += 1
+            remaining -= eng.now - started
+
+
+def main() -> None:
+    # -- 1. per-node failure clocks as one vectorized bank ------------------
+    print(f"1. A year of per-node failure clocks ({N_NODES:,} nodes)")
+    print("=" * 64)
+    eng = Engine(impl="calendar")
+    target = eng.spawn(facility(eng), name="facility")
+    injector = FailureInjector(eng, seed=0)
+    injector.attach(target, N_NODES, timer_bank=True)
+    t0 = time.perf_counter()
+    eng.run()
+    bank_wall = time.perf_counter() - t0
+    nodes_hit = len({e.node for e in injector.events})
+    print(f"  {len(injector.events)} node failures over "
+          f"{eng.now / 86400:.0f} simulated days "
+          f"({nodes_hit} distinct nodes) in {bank_wall:.3f} s wall-clock")
+    print("  (one engine queue entry carries all "
+          f"{N_NODES:,} exponential clocks)\n")
+
+    # -- 2. a year of batch scheduling, bank mode ---------------------------
+    print("2. A year of batch scheduling (bank mode)")
+    print("=" * 64)
+    t0 = time.perf_counter()
+    jobs = synthetic_facility_year(seed=0, n_nodes=N_NODES, horizon=YEAR)
+    gen_wall = time.perf_counter() - t0
+    faults = FaultModel(checkpoint_interval=3600.0, seed=0)
+    t0 = time.perf_counter()
+    result = Scheduler(N_NODES).run(jobs, faults=faults, timer_bank=True)
+    year_wall = time.perf_counter() - t0
+    print(f"  {len(jobs):,} jobs generated in {gen_wall:.2f} s, "
+          f"replayed in {year_wall:.2f} s "
+          f"({result.makespan / year_wall:,.0f} simulated s per wall s)")
+    print(f"  utilization {result.utilization:.1%}, "
+          f"goodput {result.goodput_fraction:.2%}, "
+          f"{result.n_failures} failures, "
+          f"{result.lost_node_hours:,.0f} node-hours lost\n")
+
+    # -- 3. the determinism contract ----------------------------------------
+    print("3. Bank mode is byte-identical to the object path")
+    print("=" * 64)
+    month = synthetic_facility_year(
+        seed=1, n_nodes=N_NODES, horizon=30.0 * 86400.0
+    )
+    r_obj = Scheduler(N_NODES).run(list(month), faults=faults,
+                                   timer_bank=False)
+    r_bank = Scheduler(N_NODES).run(list(month), faults=faults,
+                                    timer_bank=True)
+    assert r_obj == r_bank
+    print(f"  30-day window, {len(month):,} jobs: object path and bank mode "
+          "agree on every field\n  (same arrivals, same failure draws, same "
+          "schedule — the bank only changes the data structure)")
+
+
+if __name__ == "__main__":
+    main()

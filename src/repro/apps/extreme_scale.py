@@ -153,6 +153,7 @@ class ExtremeScaleApp:
         seed: int = 0,
         system: System | None = None,
         machine: "MachineSpec | str | None" = None,
+        engine_impl: str | None = None,
     ) -> "ResilienceReport":
         """Expected goodput at scale under failures and checkpointing.
 
@@ -171,6 +172,7 @@ class ExtremeScaleApp:
             tier=tier,
             empirical=empirical,
             seed=seed,
+            engine_impl=engine_impl,
         )
 
     def goodput_model(
@@ -221,6 +223,7 @@ class ExtremeScaleApp:
         n_jobs: int = 1,
         system: System | None = None,
         machine: "MachineSpec | str | None" = None,
+        engine_impl: str | None = None,
     ) -> "list[RestartStats]":
         """A Monte-Carlo ensemble of checkpoint-restart runs for this app.
 
@@ -232,7 +235,8 @@ class ExtremeScaleApp:
             n_nodes, node_mtbf_seconds, state_bytes_per_node, system, machine
         )
         return model.simulate_ensemble(
-            tier=tier, seed=seed, n_replicas=n_replicas, n_jobs=n_jobs
+            tier=tier, seed=seed, n_replicas=n_replicas, n_jobs=n_jobs,
+            engine_impl=engine_impl,
         )
 
 

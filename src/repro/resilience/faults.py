@@ -101,10 +101,30 @@ class FailureInjector:
         if self.telemetry is None:
             self.telemetry = self.engine.telemetry
 
-    def attach(self, target: Process, n_nodes: int) -> Process:
-        """Spawn the injector timer stalking ``target``; returns it."""
+    def attach(
+        self, target: Process, n_nodes: int, timer_bank: bool = False
+    ) -> Any:
+        """Spawn the injector stalking ``target``; returns its handle.
+
+        The default is the historical single system-MTBF clock (one
+        :class:`~repro.sim.engine.Timer`, alternating exponential-wait and
+        victim-index draws) — existing seeds and goldens are untouched.
+
+        ``timer_bank=True`` switches to *per-node* exponential clocks in
+        one vectorized :class:`~repro.sim.timerbank.TimerBank`: every node
+        gets its own MTBF clock (lane index = node index, so the victim is
+        the lane that fired — no separate draw), scaling to all 4 608
+        Summit nodes for the same cost as one. The superposed per-node
+        Poisson processes compose to exactly the same system MTBF law, but
+        the rng stream differs from the single-clock path, so this is an
+        explicit opt-in, returning the bank instead of a process. Bank-on
+        runs are byte-identical across ``vectorized`` modes and engine
+        impls (the differential suite pins this).
+        """
         if n_nodes < 1:
             raise ConfigurationError("need at least one node")
+        if timer_bank:
+            return self._attach_bank(target, n_nodes)
         mtbf = self.model.system_mtbf(n_nodes)
 
         def fire() -> float | None:
@@ -137,6 +157,45 @@ class FailureInjector:
         )
         return proc
 
+    def _attach_bank(self, target: Process, n_nodes: int):
+        """Per-node MTBF clocks as one vectorized timer bank."""
+        from repro.sim.timerbank import ExponentialRearm, TimerBank
+
+        node_mtbf = self.model.node_mtbf_seconds
+        rng = self._rng
+
+        def on_fire(node: int) -> bool:
+            if target.finished:
+                return False
+            event = FailureEvent(time=self.engine.now, node=node)
+            self.events.append(event)
+            if self.telemetry is not None:
+                self.telemetry.instant(
+                    f"failure:node{event.node}", "fault",
+                    facility="faults", track=target.name,
+                    time=event.time, node=event.node,
+                    target=target.name,
+                )
+                self.telemetry.metrics.counter("faults.injected").inc()
+            target.interrupt(event)
+            return True
+
+        bank = TimerBank(
+            self.engine,
+            rng.exponential(node_mtbf, n_nodes),  # one block: all first fires
+            on_fire=on_fire,
+            rearm=ExponentialRearm(node_mtbf, rng),
+            name=f"injector:{target.name}",
+        )
+        self.engine.spawn(
+            self._bank_sentinel(target, bank), name=f"sentinel:{target.name}"
+        )
+        return bank
+
     def _sentinel(self, target: Process, injector: Process):
         yield target
         injector.interrupt("target-finished")
+
+    def _bank_sentinel(self, target: Process, bank):
+        yield target
+        bank.cancel("target-finished")

@@ -191,6 +191,7 @@ def restart_ensemble(
     seed: int = 0,
     n_jobs: int = 1,
     restart_delay: float = 0.0,
+    engine_impl: str | None = None,
 ) -> list[RestartStats]:
     """A Monte-Carlo ensemble of checkpoint-restart runs, one per child seed.
 
@@ -212,6 +213,7 @@ def restart_ensemble(
         n_nodes=n_nodes,
         node_mtbf_seconds=node_mtbf_seconds,
         restart_delay=restart_delay,
+        engine_impl=engine_impl,
     )
     return monte_carlo(
         partial(_restart_replica, kwargs), n_replicas, seed=seed, n_jobs=n_jobs

@@ -99,6 +99,88 @@ def walltime_limit(
     raise AssertionError("unreachable: last bin matches all sizes")
 
 
+def synthetic_facility_year(
+    seed: int = 0,
+    n_nodes: int = 4608,
+    horizon: float = 365.0 * 86400.0,
+    utilization_target: float = 0.85,
+    ai_fraction: float = 0.3,
+    capability_fraction: float = 0.02,
+) -> list[Job]:
+    """A utilization-targeted synthetic job stream over ``horizon`` seconds.
+
+    The whole-facility replay workload (ROADMAP item 3's stream, sized for
+    the facility-year demo): most jobs are narrow (log-uniform up to ~2 %
+    of the machine — the long tail of the Section II job census) with a
+    ``capability_fraction`` of wide jobs (log-uniform from ~20 % of the
+    machine up to all of it) that carry most of the node-hours, the INCITE
+    shape. Durations are log-normal within each width's Summit walltime
+    bin, submissions uniform over the horizon, and the stream is cut when
+    offered load reaches ``utilization_target`` of the machine's
+    node-seconds — so the queue stays statistically stable across a year
+    instead of exploding or draining. At Summit scale this yields roughly
+    a hundred thousand jobs per simulated year.
+
+    All draws are vectorized in fixed-size blocks from one seeded
+    ``Generator``, so the stream is deterministic in ``seed`` and
+    independent of how the budget rounds against block boundaries.
+    """
+    if n_nodes < 1:
+        raise ConfigurationError("n_nodes must be >= 1")
+    if horizon <= 0:
+        raise ConfigurationError("horizon must be positive")
+    if not 0.0 < utilization_target <= 1.0:
+        raise ConfigurationError("utilization_target must be in (0, 1]")
+    if not 0.0 <= capability_fraction <= 1.0:
+        raise ConfigurationError("capability_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    budget = utilization_target * n_nodes * horizon
+    narrow_cap = max(2, n_nodes // 50)  # Summit: 92 nodes, the 12 h bin edge
+    wide_floor = max(1, n_nodes // 5)  # Summit: 921 nodes, the 20 % bin edge
+    block = 8192
+    jobs: list[Job] = []
+    filled = 0.0
+    while filled < budget:
+        is_wide = rng.random(block) < capability_fraction
+        narrow = np.exp(
+            rng.uniform(0.0, np.log(narrow_cap), block)
+        ).astype(np.int64)
+        wide = np.exp(
+            rng.uniform(np.log(wide_floor), np.log(n_nodes), block)
+        ).astype(np.int64)
+        nodes = np.minimum(
+            np.maximum(1, np.where(is_wide, wide, narrow)), n_nodes
+        )
+        # Summit's queue bins, vectorized (matches walltime_limit exactly)
+        limits = np.select(
+            [nodes >= 2765, nodes >= 922, nodes >= 92, nodes >= 46],
+            [24 * 3600.0, 24 * 3600.0, 12 * 3600.0, 6 * 3600.0],
+            2 * 3600.0,
+        )
+        durations = np.clip(
+            limits * rng.lognormal(mean=-1.2, sigma=0.6, size=block),
+            300.0, limits,
+        )
+        submits = rng.uniform(0.0, horizon, block)
+        uses_ai = rng.random(block) < ai_fraction
+        cum = filled + np.cumsum(nodes * durations)
+        take = min(int(np.searchsorted(cum, budget, side="left")) + 1, block)
+        base = len(jobs)
+        jobs.extend(
+            Job(
+                job_id=f"y{seed}-j{base + j}",
+                nodes=int(nodes[j]),
+                duration=float(durations[j]),
+                submit_time=float(submits[j]),
+                uses_ai=bool(uses_ai[j]),
+            )
+            for j in range(take)
+        )
+        filled = float(cum[take - 1])
+    jobs.sort(key=lambda job: job.submit_time)
+    return jobs
+
+
 def campaign_from_portfolio(
     projects: list[Project],
     jobs_per_project: int = 3,

@@ -25,6 +25,7 @@ from repro.scheduler.faults import FaultModel
 from repro.scheduler.jobs import Job
 from repro.scheduler.policy import Policy, priority_key
 from repro.sim.calqueue import make_event_queue
+from repro.sim.timerbank import ArrivalBank, DeadlineBank, resolve_timer_bank
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry import Telemetry
@@ -80,6 +81,7 @@ class Scheduler:
         faults: FaultModel | None = None,
         telemetry: "Telemetry | None" = None,
         engine_impl: str | None = None,
+        timer_bank: bool | None = None,
     ) -> ScheduleResult:
         """Simulate the schedule; optionally record telemetry.
 
@@ -87,6 +89,17 @@ class Scheduler:
         ``calendar``; default: the ``REPRO_ENGINE_IMPL`` knob). Events are
         ``(end_time, seq)``-ordered under either implementation, so the
         simulated schedule is byte-identical across the two.
+
+        ``timer_bank`` (default: the ``REPRO_TIMER_BANK`` knob, else off)
+        swaps the arrival list and the completion queue for the vectorized
+        bulk structures in :mod:`repro.sim.timerbank`: arrivals become one
+        stable argsort consumed by ``searchsorted`` slices (instead of a
+        quadratic ``pending.pop(0)`` scan) and walltime expirations live
+        in a :class:`~repro.sim.timerbank.DeadlineBank` whose backfill
+        iteration is lazy (instead of a full sort per scheduling point).
+        Every event fires in the same ``(time, seq)`` order, so the
+        result — and any telemetry trace — is byte-identical to the
+        object path; year-scale replays get the asymptotic win.
 
         With a :class:`~repro.telemetry.Telemetry` handle the run records
         queue-wait spans, per-execution job spans (on per-node tracks when
@@ -113,10 +126,16 @@ class Scheduler:
         lost_node_seconds = 0.0
         occupied_node_seconds = 0.0
 
-        pending = sorted(jobs, key=lambda j: j.submit_time)
+        use_bank = resolve_timer_bank(timer_bank)
+        if use_bank:
+            arrivals: ArrivalBank | None = ArrivalBank.from_jobs(jobs)
+            pending: list[Job] = []
+        else:
+            arrivals = None
+            pending = sorted(jobs, key=lambda j: j.submit_time)
         queue: list[Job] = []
         # (end_time, seq, job); fault mode resolves seq -> execution details
-        running = make_event_queue(engine_impl)
+        running = DeadlineBank() if use_bank else make_event_queue(engine_impl)
         executions: dict[int, tuple[float, bool]] = {}  # seq -> (run_s, failed)
         seq = 0
         idle = self.n_nodes
@@ -215,9 +234,26 @@ class Scheduler:
             """Run length the backfill window should assume for ``job``."""
             return job.duration if faults is None else remaining[job.job_id]
 
+        # the queue sort key, specialised per policy so the per-event sort
+        # skips the enum dispatch; MUST stay in float-for-float lockstep
+        # with policy.priority_key (pinned by a unit test)
+        policy = self.policy
+        if policy is Policy.CAPABILITY:
+            def queue_key(j: Job):
+                return (
+                    -(j.nodes + 4.0 * max(0.0, (now - j.submit_time) / 3600.0)),
+                    j.submit_time,
+                )
+        elif policy is Policy.FIFO:
+            def queue_key(j: Job):
+                return (j.submit_time,)
+        else:
+            def queue_key(j: Job):
+                return priority_key(policy, j, now)
+
         def try_start() -> None:
             nonlocal idle
-            queue.sort(key=lambda j: priority_key(self.policy, j, now))
+            queue.sort(key=queue_key)
             started = True
             while started:
                 started = False
@@ -238,25 +274,40 @@ class Scheduler:
                     head_start = end_time
                     if freed >= needed:
                         break
-                for candidate in list(queue[1:]):
+                i = 1
+                while i < len(queue):
+                    candidate = queue[i]
                     if (
                         candidate.nodes <= idle
                         and now + planned_run(candidate) <= head_start
                     ):
-                        queue.remove(candidate)
+                        del queue[i]
                         launch(candidate)
                         started = True
+                    else:
+                        i += 1
 
-        while pending or queue or running:
+        while pending or arrivals or queue or running:
             # next event: job arrival or completion
-            next_arrival = pending[0].submit_time if pending else float("inf")
+            if arrivals is not None:
+                peeked = arrivals.peek_time()
+                next_arrival = peeked if peeked is not None else float("inf")
+            else:
+                next_arrival = (
+                    pending[0].submit_time if pending else float("inf")
+                )
             peeked = running.peek_time()
             next_completion = peeked if peeked is not None else float("inf")
             now = min(next_arrival, next_completion)
             if now == float("inf"):
                 raise AssertionError("scheduler deadlock")
-            while pending and pending[0].submit_time <= now:
-                job = pending.pop(0)
+            if arrivals is not None:
+                arrived = arrivals.pop_until(now)
+            else:
+                arrived = []
+                while pending and pending[0].submit_time <= now:
+                    arrived.append(pending.pop(0))
+            for job in arrived:
                 queue.append(job)
                 if telemetry is not None:
                     telemetry.instant(

@@ -18,20 +18,34 @@ from repro.sim.calqueue import (
 )
 from repro.sim.engine import Engine, Interrupt, Process, Timeout, Timer
 from repro.sim.resources import Resource
+from repro.sim.timerbank import (
+    TIMER_BANK_ENV,
+    ArrivalBank,
+    DeadlineBank,
+    ExponentialRearm,
+    TimerBank,
+    resolve_timer_bank,
+)
 from repro.sim.trace import Trace, TraceEvent
 
 __all__ = [
     "ENGINE_IMPLS",
+    "TIMER_BANK_ENV",
+    "ArrivalBank",
     "CalendarQueue",
+    "DeadlineBank",
     "Engine",
+    "ExponentialRearm",
     "HeapQueue",
     "Interrupt",
     "Process",
     "Resource",
+    "TimerBank",
     "Timeout",
     "Timer",
     "Trace",
     "TraceEvent",
     "make_event_queue",
     "resolve_engine_impl",
+    "resolve_timer_bank",
 ]

@@ -13,6 +13,13 @@ machinery entirely: spawn a :class:`Timer` plan instead of a generator and
 the engine detects it at spawn, firing a plain callback with no frame to
 resume, no ``StopIteration`` to raise and no intermediate start event.
 
+Homogeneous timer *populations* can go a step further still: a
+:class:`~repro.sim.timerbank.TimerBank` holds every clock in numpy arrays
+(deadlines, armed seqs, liveness) behind a *single* queue entry carrying
+the next-due lane's ``(time, seq)`` key, so a million timers cost the
+scheduler one entry instead of a million — see :mod:`repro.sim.timerbank`
+for the dispatch and byte-identity contracts.
+
 Determinism and tie-breaking
 ----------------------------
 Event ordering is explicitly ``(time, seq)``-keyed: every scheduled event
@@ -67,10 +74,13 @@ Example
 from __future__ import annotations
 
 import heapq
+from bisect import insort
 from collections.abc import Generator
 from itertools import repeat
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
+
+import numpy as np
 
 from repro.errors import SimulationError
 from repro.sim.calqueue import CalendarQueue, resolve_engine_impl
@@ -146,6 +156,35 @@ class _Fire:
 
 
 _FIRE = _Fire()
+
+#: Send-value marker for a timer-*bank* expiry (see
+#: :mod:`repro.sim.timerbank`): a bank's single queue entry pops here and
+#: the engine hands the whole due slice back to the bank for vectorized
+#: dispatch. A distinct instance so the :class:`Timer` inline-finish fast
+#: path never confuses the two.
+_BANK_FIRE = _Fire()
+
+
+def validate_delays(delays: Any) -> np.ndarray:
+    """Vectorized up-front delay validation shared by the bulk spawn paths.
+
+    Returns ``delays`` as a 1-D ``float64`` array. Negative (or NaN)
+    delays raise one :class:`ValueError` naming the first offending index,
+    instead of failing lazily at fire time deep inside the event loop.
+    """
+    arr = np.asarray(delays, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(
+            f"timer delays must be one-dimensional, got shape {arr.shape}"
+        )
+    bad = np.flatnonzero(~(arr >= 0.0))  # catches negatives and NaN alike
+    if bad.size:
+        i = int(bad[0])
+        raise ValueError(
+            f"invalid timer delay {float(arr[i])!r} at index {i} "
+            f"({bad.size} of {arr.size} delays negative or NaN)"
+        )
+    return arr
 
 
 class Process:
@@ -255,7 +294,8 @@ class Engine:
         fire: Any = None,
         result: Any = None,
         name: str = "",
-    ) -> list[Process]:
+        timer_bank: bool = False,
+    ) -> "list[Process] | Any":
         """Spawn one :class:`Timer` process per delay, sharing one plan.
 
         Semantically identical to ``[self.spawn(Timer(d, fire, result),
@@ -264,12 +304,27 @@ class Engine:
         a single shared ``Timer`` plan (the delay lives in the schedule
         entry, not the plan) and an inlined scheduling loop. This is the
         bulk entry point for Monte-Carlo timer storms.
+
+        ``timer_bank=True`` returns a
+        :class:`~repro.sim.timerbank.TimerBank` instead of per-timer
+        processes: the whole population lives in numpy arrays behind a
+        single queue entry, with ``fire`` (if any) called per expiring
+        lane. Under ``impl="heap"`` the bank transparently falls back to
+        the per-timer object path behind the same handle, so callers never
+        branch on the engine implementation. Delays are validated up front
+        either way (one vectorized check; :class:`ValueError` names the
+        first offending index).
         """
-        delays = list(delays)
-        if delays and min(delays) < 0:
-            raise SimulationError(
-                f"negative timer delay: {min(delays)}"
+        arr = validate_delays(delays)
+        if timer_bank:
+            from repro.sim.timerbank import TimerBank
+
+            on_fire = None if fire is None else (lambda lane: fire())
+            return TimerBank(
+                self, arr, on_fire=on_fire, result=result,
+                name=name or "process",
             )
+        delays = arr.tolist()  # plain floats: entry times feed telemetry/json
         timer = Timer(0.0, fire, result)
         if not name:
             name = "process"  # what Process derives for a plain Timer
@@ -323,6 +378,30 @@ class Engine:
             # same-time event scheduled mid-batch: its seq is larger than
             # every pending entry's, so appending preserves (time, seq) order
             self._batch.append(entry)
+        else:
+            self._calendar.push(entry)
+
+    def _push_entry(self, entry: tuple) -> None:
+        """Insert a pre-built entry whose seq was drawn from this engine.
+
+        Timer banks build their own entries (the seq is the due lane's,
+        drawn in blocks at arm time), so unlike ``_schedule`` a mid-batch
+        push can carry a seq *older* than pending batch entries: a bank
+        re-registering at the batch time keys the entry by its next due
+        lane's arm-time seq. That seq is still newer than the entry being
+        stepped right now (the bank fired everything at or below it), so
+        an ordered insert lands in the unprocessed tail of the batch and
+        the drain loop picks it up in global ``(time, seq)`` order.
+        """
+        heap = self._heap
+        if heap is not None:
+            heapq.heappush(heap, entry)
+        elif self._batch is not None and entry[0] == self._batch_time:
+            batch = self._batch
+            if not batch or entry[1] > batch[-1][1]:
+                batch.append(entry)  # fresh seq: the common fast path
+            else:
+                insort(batch, entry)  # seq-sorted; never compares payloads
         else:
             self._calendar.push(entry)
 
@@ -468,6 +547,11 @@ class Engine:
         gen = proc.gen
         if type(gen) is Timer:
             self._fire_timer(proc, gen, send_value)
+            return
+        if send_value is _BANK_FIRE:
+            # a timer bank's entry popped: hand the due slice back to the
+            # bank for vectorized dispatch (see repro.sim.timerbank)
+            gen._bank_fire(self)
             return
         proc._waiting_on = None
         self._current = proc

@@ -1,0 +1,383 @@
+"""Differential testing for vectorized timer banks.
+
+The :mod:`repro.sim.timerbank` contract is byte-identity: a seeded
+workload runs observably the same with banks vectorized or in object
+fallback, on either engine implementation — same event logs, same final
+states, byte-identical Chrome traces. Hypothesis generates mixed programs
+(bank populations with every survival style, generator processes sleeping
+and cancelling banks mid-flight) and every observable is compared across
+the full 2x2 (vectorized x impl) grid.
+
+The facility-year demo is pinned by a seed-matrix golden: a small
+scheduler replay per seed whose scalar results are committed JSON,
+regenerated with ``REPRO_REGEN_GOLDENS=1`` after intentional changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given
+
+from .hypothesis_settings import SLOW_SETTINGS, STANDARD_SETTINGS
+from repro.scheduler import FaultModel, Job, Policy, Scheduler
+from repro.scheduler.jobs import synthetic_facility_year
+from repro.scheduler.policy import priority_key
+from repro.sim import Engine, ExponentialRearm, Timeout, Timer, TimerBank
+from repro.telemetry import Telemetry, chrome_trace_json
+
+# Quantized initial delays: duplicates make same-instant expiry batches
+# common (the vectorized mass-dispatch path); re-arm delays are continuous
+# rng draws, so cross-block equal-deadline collisions stay measure-zero.
+DELAYS = st.sampled_from([0.0, 0.0, 0.25, 0.5, 1.0, 1.0, 2.0, 3.5])
+
+#: (initial delays, survival style, fires-per-lane budget) per bank.
+BANKS = st.lists(
+    st.tuples(
+        st.lists(DELAYS, min_size=1, max_size=5),
+        st.sampled_from(["sleep", "legacy", "rearm"]),
+        st.integers(0, 2),
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+ACTIONS = st.one_of(
+    st.tuples(st.just("sleep"), DELAYS),
+    st.tuples(st.just("cancel"), st.integers(0, 5)),
+)
+
+#: Generator processes running beside the banks.
+PROGRAMS = st.lists(
+    st.lists(ACTIONS, min_size=1, max_size=4), max_size=3
+)
+
+
+def run_mixed(programs, banks, impl, vectorized, with_telemetry=False):
+    """Run one generated mixed workload; return every observable."""
+    telemetry = Telemetry() if with_telemetry else None
+    eng = Engine(telemetry, impl=impl)
+    log: list[tuple] = []
+    handles: list[TimerBank] = []
+
+    for b, (delays, style, budget) in enumerate(banks):
+        if style == "sleep":
+            handles.append(TimerBank(
+                eng, delays, name=f"b{b}", vectorized=vectorized,
+            ))
+            continue
+        counts: dict[int, int] = {}
+
+        if style == "legacy":
+            def on_fire(lane, b=b, counts=counts, budget=budget):
+                c = counts.get(lane, 0) + 1
+                counts[lane] = c
+                log.append(("fire", b, lane, eng.now))
+                if c > budget:
+                    return None  # lane dies
+                return 0.5 + 0.25 * lane  # next delay, Timer-style
+
+            handles.append(TimerBank(
+                eng, delays, on_fire=on_fire, name=f"b{b}",
+                vectorized=vectorized,
+            ))
+        else:  # rearm rule: exponential draws from a per-bank seeded rng
+            def on_fire(lane, b=b, counts=counts, budget=budget):
+                c = counts.get(lane, 0) + 1
+                counts[lane] = c
+                log.append(("fire", b, lane, eng.now))
+                return c <= budget  # False retires the lane
+
+            handles.append(TimerBank(
+                eng, delays, on_fire=on_fire,
+                rearm=ExponentialRearm(1.5, np.random.default_rng(100 + b)),
+                name=f"b{b}", vectorized=vectorized,
+            ))
+
+    def body(i, actions):
+        for act in actions:
+            if act[0] == "sleep":
+                yield Timeout(act[1])
+                log.append(("slept", i, eng.now))
+            else:
+                target = act[1] % len(handles)
+                n = handles[target].cancel(f"by-{i}")
+                log.append(("cancelled", i, target, n, eng.now))
+        return f"result-{i}"
+
+    procs = [
+        eng.spawn(body(i, actions), name=f"p{i}")
+        for i, actions in enumerate(programs)
+    ]
+    eng.run()
+
+    return {
+        "log": log,
+        "now": eng.now,
+        "banks": [
+            (h.n_fired, h.live_count, h.done) for h in handles
+        ],
+        "procs": [
+            (p.name, p.finished, p.killed, p.result, p.finished_at)
+            for p in procs
+        ],
+        "trace": chrome_trace_json(telemetry) if with_telemetry else None,
+    }
+
+
+GRID = [
+    ("heap", False), ("heap", True), ("calendar", False), ("calendar", True),
+]
+
+
+@STANDARD_SETTINGS
+@given(programs=PROGRAMS, banks=BANKS)
+def test_bank_grid_equivalent(programs, banks):
+    """Same logs, clocks and final states across vectorized x impl."""
+    results = [
+        run_mixed(programs, banks, impl, vectorized)
+        for impl, vectorized in GRID
+    ]
+    for other in results[1:]:
+        assert other == results[0]
+
+
+@SLOW_SETTINGS
+@given(programs=PROGRAMS, banks=BANKS)
+def test_bank_traces_byte_identical(programs, banks):
+    """Chrome traces are byte-identical across the whole grid."""
+    results = [
+        run_mixed(programs, banks, impl, vectorized, with_telemetry=True)
+        for impl, vectorized in GRID
+    ]
+    for other in results[1:]:
+        assert other["trace"] == results[0]["trace"]
+        assert other == results[0]
+
+
+@STANDARD_SETTINGS
+@given(
+    delays=st.lists(DELAYS, min_size=1, max_size=30),
+    impl=st.sampled_from(["heap", "calendar"]),
+)
+def test_spawn_timers_bank_opt_in_equivalent(delays, impl):
+    """``spawn_timers(timer_bank=True)`` matches the per-process spawn."""
+    plain_eng = Engine(impl=impl)
+    plain = plain_eng.spawn_timers(delays)
+    plain_eng.run()
+
+    bank_eng = Engine(impl=impl)
+    bank = bank_eng.spawn_timers(delays, timer_bank=True)
+    bank_eng.run()
+
+    assert bank_eng.now == plain_eng.now
+    assert bank.done
+    assert bank.n_fired == len(delays)
+    assert bank.live_count == 0
+    assert all(p.finished and not p.killed for p in plain)
+
+
+def test_spawn_timers_rejects_negative_delay_naming_index():
+    eng = Engine()
+    with pytest.raises(ValueError, match=r"-2\.0 at index 2"):
+        eng.spawn_timers([1.0, 0.5, -2.0, 3.0])
+
+
+def test_spawn_timers_rejects_nan_delay():
+    eng = Engine()
+    with pytest.raises(ValueError, match="index 1"):
+        eng.spawn_timers([1.0, float("nan")])
+
+
+def test_spawn_timers_rejects_non_1d():
+    eng = Engine()
+    with pytest.raises(ValueError, match="one-dimensional"):
+        eng.spawn_timers([[1.0, 2.0]])
+
+
+JOBS = st.lists(
+    st.tuples(
+        st.integers(1, 16),                       # nodes
+        st.sampled_from([600.0, 1800.0, 3600.0]),  # duration
+        st.sampled_from([0.0, 0.0, 300.0, 900.0, 3600.0]),  # submit
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+@SLOW_SETTINGS
+@given(
+    jobspec=JOBS,
+    policy=st.sampled_from(list(Policy)),
+    with_faults=st.booleans(),
+)
+def test_scheduler_bank_mode_equivalent(jobspec, policy, with_faults):
+    """Bank-mode scheduling is byte-identical to the object path."""
+    jobs = [
+        Job(f"j{i}", nodes, duration, submit, uses_ai=bool(i % 2))
+        for i, (nodes, duration, submit) in enumerate(jobspec)
+    ]
+    faults = (
+        FaultModel(node_mtbf_seconds=2e5, checkpoint_interval=1800.0, seed=3)
+        if with_faults else None
+    )
+    tel_obj, tel_bank = Telemetry(), Telemetry()
+    r_obj = Scheduler(16, policy).run(
+        list(jobs), faults=faults, telemetry=tel_obj, timer_bank=False
+    )
+    r_bank = Scheduler(16, policy).run(
+        list(jobs), faults=faults, telemetry=tel_bank, timer_bank=True
+    )
+    assert r_obj == r_bank
+    assert chrome_trace_json(tel_obj) == chrome_trace_json(tel_bank)
+
+
+def test_scheduler_queue_key_lockstep():
+    """The scheduler's inlined sort keys must equal priority_key exactly.
+
+    ``Scheduler.run`` specialises the queue sort key per policy to skip
+    per-event enum dispatch; this pins the float-for-float lockstep the
+    inline comments promise.
+    """
+    rng = np.random.default_rng(5)
+    jobs = [
+        Job(f"k{i}", int(rng.integers(1, 4000)),
+            float(rng.uniform(300, 86400)), float(rng.uniform(0, 1e6)))
+        for i in range(200)
+    ]
+    for now in (0.0, 1234.56789, 1e6, 3.15e7):
+        for policy in Policy:
+            expected = [priority_key(policy, j, now) for j in jobs]
+            if policy is Policy.CAPABILITY:
+                inlined = [
+                    (
+                        -(j.nodes
+                          + 4.0 * max(0.0, (now - j.submit_time) / 3600.0)),
+                        j.submit_time,
+                    )
+                    for j in jobs
+                ]
+            elif policy is Policy.FIFO:
+                inlined = [(j.submit_time,) for j in jobs]
+            else:
+                inlined = expected
+            assert inlined == expected
+
+
+@STANDARD_SETTINGS
+@given(seed=st.integers(0, 30), n_nodes=st.sampled_from([16, 64, 256]))
+def test_injector_bank_modes_equivalent(seed, n_nodes):
+    """Per-node injector banks: object fallback == vectorized, any impl.
+
+    ``impl="heap"`` resolves the bank to object fallback and
+    ``impl="calendar"`` to vectorized, so comparing the two runs pins both
+    the mode and the impl axis at once.
+    """
+    from repro.resilience.faults import FailureInjector, NodeFailureModel
+
+    def one_run(impl):
+        tel = Telemetry()
+        eng = Engine(tel, impl=impl)
+
+        def target_gen():
+            from repro.sim import Interrupt
+
+            hits = 0
+            remaining = 40.0 * 86400.0
+            while True:
+                started = eng.now
+                try:
+                    yield Timeout(remaining)
+                    return hits
+                except Interrupt:
+                    hits += 1
+                    remaining -= eng.now - started
+
+        target = eng.spawn(target_gen(), name="job")
+        injector = FailureInjector(
+            eng, NodeFailureModel(1.0e7), seed=seed
+        )
+        bank = injector.attach(target, n_nodes, timer_bank=True)
+        eng.run()
+        return {
+            "events": [(e.time, e.node) for e in injector.events],
+            "now": eng.now,
+            "result": target.result,
+            "fired": bank.n_fired,
+            "trace": chrome_trace_json(tel),
+        }
+
+    heap_run = one_run("heap")
+    calendar_run = one_run("calendar")
+    assert heap_run == calendar_run
+    # the test generator re-derives its remaining time by float
+    # subtraction, so the final clock is only approximately the horizon
+    assert heap_run["now"] == pytest.approx(40.0 * 86400.0)
+
+
+# -- facility-year seed-matrix goldens ------------------------------------
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+SEEDS = (0, 1, 2)
+#: Small config: a 64-node machine over 4 days keeps each replay ~10 ms.
+GOLDEN_NODES, GOLDEN_HORIZON = 64, 4.0 * 86400.0
+
+
+def _golden_path(seed: int) -> pathlib.Path:
+    return GOLDEN_DIR / f"facility_year_seed{seed}.json"
+
+
+def _facility_scalars(seed: int, timer_bank: bool) -> dict:
+    jobs = synthetic_facility_year(
+        seed=seed, n_nodes=GOLDEN_NODES, horizon=GOLDEN_HORIZON
+    )
+    faults = FaultModel(
+        node_mtbf_seconds=5e6, checkpoint_interval=3600.0, seed=seed
+    )
+    r = Scheduler(GOLDEN_NODES).run(
+        jobs, faults=faults, timer_bank=timer_bank
+    )
+    return {
+        "seed": seed,
+        "n_jobs": len(jobs),
+        "makespan": r.makespan,
+        "utilization": r.utilization,
+        "mean_wait": r.mean_wait,
+        "delivered_node_hours": r.delivered_node_hours,
+        "ai_node_hours": r.ai_node_hours,
+        "n_failures": r.n_failures,
+        "n_requeues": r.n_requeues,
+        "lost_node_hours": r.lost_node_hours,
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_facility_year_golden(seed):
+    """The facility-year demo workload is pinned per seed, bank mode."""
+    path = _golden_path(seed)
+    scalars = _facility_scalars(seed, timer_bank=True)
+    regenerated = json.dumps(scalars, indent=2, sort_keys=True) + "\n"
+    if os.environ.get("REPRO_REGEN_GOLDENS"):
+        path.write_text(regenerated)
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"{path.name} missing - run with REPRO_REGEN_GOLDENS=1 to create it"
+    )
+    assert regenerated == path.read_text(), (
+        f"{path.name} drifted: the facility-year replay no longer "
+        f"reproduces the committed seed-{seed} scalars"
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_facility_year_bank_off_matches_golden(seed):
+    """The object path reproduces the same goldens — mode-independence."""
+    assert _facility_scalars(seed, timer_bank=False) == json.loads(
+        _golden_path(seed).read_text()
+    )
